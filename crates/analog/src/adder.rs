@@ -1,0 +1,85 @@
+//! Current-mode I-adders.
+//!
+//! The Psum currents produced by the crossbars of one sub-chip column are
+//! aggregated by a current-mode adder (`I_out = Σ I_in`, Fig. 6(d)) before
+//! the charging unit converts the aggregate into a voltage and then a time
+//! signal. The adder itself is a simple current-summing node; its energy and
+//! area come from the component library.
+
+use crate::units::Current;
+use serde::{Deserialize, Serialize};
+
+/// A current-summing node with a configurable number of inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IAdder {
+    /// Maximum number of inputs the adder aggregates (one per vertically
+    /// stacked crossbar / P-subBuf in a sub-chip column).
+    pub fan_in: usize,
+}
+
+impl IAdder {
+    /// Creates an adder with the given fan-in.
+    pub fn new(fan_in: usize) -> Self {
+        Self { fan_in }
+    }
+
+    /// TIMELY's sub-chip column adder: 16 vertically stacked crossbars feed
+    /// one I-adder per bit-cell column.
+    pub fn timely_default() -> Self {
+        Self { fan_in: 16 }
+    }
+
+    /// Sums the input currents. Inputs beyond `fan_in` are ignored (they
+    /// cannot physically connect to the adder); fewer inputs are allowed.
+    pub fn sum(&self, inputs: &[Current]) -> Current {
+        inputs
+            .iter()
+            .take(self.fan_in)
+            .copied()
+            .fold(Current::ZERO, |acc, i| acc + i)
+    }
+
+    /// Sums raw per-column charges (used by the time-domain dot-product path,
+    /// where the crossbars report charge rather than instantaneous current).
+    pub fn sum_charges(&self, charges: &[f64]) -> f64 {
+        charges.iter().take(self.fan_in).sum()
+    }
+}
+
+impl Default for IAdder {
+    fn default() -> Self {
+        Self::timely_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_up_to_fan_in_inputs() {
+        let adder = IAdder::new(3);
+        let inputs = [
+            Current::from_microamps(1.0),
+            Current::from_microamps(2.0),
+            Current::from_microamps(3.0),
+            Current::from_microamps(100.0), // ignored: beyond fan-in
+        ];
+        assert!((adder.sum(&inputs).as_microamps() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_inputs_than_fan_in_is_fine() {
+        let adder = IAdder::timely_default();
+        assert_eq!(adder.fan_in, 16);
+        let inputs = [Current::from_microamps(5.0); 4];
+        assert!((adder.sum(&inputs).as_microamps() - 20.0).abs() < 1e-12);
+        assert_eq!(adder.sum(&[]), Current::ZERO);
+    }
+
+    #[test]
+    fn charge_summation_matches_plain_addition() {
+        let adder = IAdder::new(4);
+        assert!((adder.sum_charges(&[1e-12, 2e-12, 3e-12]) - 6e-12).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,270 @@
+//! Analog local buffers (ALBs): X-subBufs and P-subBufs.
+//!
+//! The ALBs are TIMELY's first key innovation (§IV-B). An **X-subBuf** latches
+//! a time-domain input signal so it can be reused by the crossbar to its
+//! right without re-activating a DTC or re-reading the input buffer; a
+//! **P-subBuf** is an NMOS current mirror that forwards a crossbar column's
+//! Psum current to the I-adder below. Both introduce a small error; the paper
+//! bounds the accumulated error of a chain of `n` X-subBufs by `√n · ε` and
+//! checks it against the DTC's design margin (§V, §VI-B).
+
+use crate::units::{Current, Time};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A time-domain latch buffer placed between horizontally adjacent crossbars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XSubBuf {
+    /// The potential timing error `ε` of one buffer stage (standard
+    /// deviation, in picoseconds).
+    pub epsilon: Time,
+}
+
+impl XSubBuf {
+    /// TIMELY's X-subBuf design point: the per-stage error is small enough
+    /// that 12 cascaded stages stay within the 40 ps (per bit-slice) design
+    /// margin: `√12 · ε < 20 × 28 ps` in the paper's accounting; we model the
+    /// per-stage ε as 5 ps.
+    pub fn timely_default() -> Self {
+        Self {
+            epsilon: Time::from_picoseconds(5.0),
+        }
+    }
+
+    /// Ideal (error-free) buffering: the output delay equals the input delay.
+    pub fn buffer(&self, input: Time) -> Time {
+        input
+    }
+
+    /// Buffering with a sampled Gaussian timing error of standard deviation
+    /// `ε` (clamped at zero so delays never become negative).
+    pub fn buffer_noisy<R: Rng + ?Sized>(&self, input: Time, rng: &mut R) -> Time {
+        let noise = sample_gaussian(rng) * self.epsilon.as_picoseconds();
+        Time::from_picoseconds((input.as_picoseconds() + noise).max(0.0))
+    }
+
+    /// The paper's accumulated-error bound for a chain of `stages` cascaded
+    /// X-subBufs: `√stages · ε`.
+    pub fn cascaded_error(&self, stages: usize) -> Time {
+        self.epsilon * (stages as f64).sqrt()
+    }
+
+    /// Whether a chain of `stages` X-subBufs stays within the given design
+    /// margin (the paper assigns >40 ps of margin to the 50 ps unit delay and
+    /// limits the cascade to 12 stages).
+    pub fn within_margin(&self, stages: usize, margin: Time) -> bool {
+        self.cascaded_error(stages) <= margin
+    }
+}
+
+impl Default for XSubBuf {
+    fn default() -> Self {
+        Self::timely_default()
+    }
+}
+
+/// A current-mirror buffer forwarding a crossbar column's Psum current to the
+/// I-adder (P-subBufs are *not* cascaded, to avoid accumulating Psum errors).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PSubBuf {
+    /// Relative gain error (standard deviation) of the current mirror.
+    pub gain_error: f64,
+}
+
+impl PSubBuf {
+    /// TIMELY's P-subBuf design point (sub-percent mirror mismatch).
+    pub fn timely_default() -> Self {
+        Self { gain_error: 0.005 }
+    }
+
+    /// Ideal (error-free) buffering: the output current equals the input.
+    pub fn buffer(&self, input: Current) -> Current {
+        input
+    }
+
+    /// Buffering with a sampled Gaussian gain error.
+    pub fn buffer_noisy<R: Rng + ?Sized>(&self, input: Current, rng: &mut R) -> Current {
+        let gain = 1.0 + sample_gaussian(rng) * self.gain_error;
+        Current::from_microamps(input.as_microamps() * gain)
+    }
+}
+
+impl Default for PSubBuf {
+    fn default() -> Self {
+        Self::timely_default()
+    }
+}
+
+/// A horizontal chain of X-subBufs distributing one time-domain input across
+/// the crossbars of a sub-chip row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XSubBufChain {
+    buffer: XSubBuf,
+    stages: usize,
+}
+
+impl XSubBufChain {
+    /// Creates a chain of `stages` buffers.
+    pub fn new(buffer: XSubBuf, stages: usize) -> Self {
+        Self { buffer, stages }
+    }
+
+    /// Number of stages in the chain.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Ideal propagation: the delay seen at every stage equals the input.
+    pub fn propagate(&self, input: Time) -> Vec<Time> {
+        vec![input; self.stages]
+    }
+
+    /// Noisy propagation: each stage adds an independent Gaussian error, so
+    /// the error at stage `k` is the sum of `k` per-stage errors (matching the
+    /// `√k · ε` RMS growth the paper uses).
+    pub fn propagate_noisy<R: Rng + ?Sized>(&self, input: Time, rng: &mut R) -> Vec<Time> {
+        let mut outputs = Vec::with_capacity(self.stages);
+        let mut current = input;
+        for _ in 0..self.stages {
+            current = self.buffer.buffer_noisy(current, rng);
+            outputs.push(current);
+        }
+        outputs
+    }
+
+    /// The RMS error bound at the end of the chain (`√stages · ε`).
+    pub fn worst_case_error(&self) -> Time {
+        self.buffer.cascaded_error(self.stages)
+    }
+}
+
+fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_buffering_is_identity() {
+        let x = XSubBuf::timely_default();
+        let t = Time::from_nanoseconds(3.0);
+        assert_eq!(x.buffer(t), t);
+        let p = PSubBuf::timely_default();
+        let i = Current::from_microamps(12.0);
+        assert_eq!(p.buffer(i), i);
+    }
+
+    #[test]
+    fn cascaded_error_grows_as_sqrt_n() {
+        let x = XSubBuf {
+            epsilon: Time::from_picoseconds(4.0),
+        };
+        assert!((x.cascaded_error(4).as_picoseconds() - 8.0).abs() < 1e-9);
+        assert!((x.cascaded_error(16).as_picoseconds() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twelve_stage_cascade_stays_within_the_design_margin() {
+        // The paper limits the cascade to 12 X-subBufs and checks the
+        // accumulated error against the DTC design margin.
+        let x = XSubBuf::timely_default();
+        let margin = Time::from_picoseconds(40.0);
+        assert!(x.within_margin(12, margin));
+        // A hundred-fold larger per-stage error would blow the margin.
+        let sloppy = XSubBuf {
+            epsilon: Time::from_picoseconds(500.0),
+        };
+        assert!(!sloppy.within_margin(12, margin));
+    }
+
+    #[test]
+    fn noisy_buffering_is_unbiased_and_has_the_right_spread() {
+        let x = XSubBuf {
+            epsilon: Time::from_picoseconds(10.0),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let input = Time::from_nanoseconds(5.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| x.buffer_noisy(input, &mut rng).as_picoseconds())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5000.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 10.0).abs() < 0.5, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn noisy_buffering_never_returns_negative_delay() {
+        let x = XSubBuf {
+            epsilon: Time::from_picoseconds(100.0),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let out = x.buffer_noisy(Time::from_picoseconds(1.0), &mut rng);
+            assert!(out.as_picoseconds() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn chain_propagates_to_every_stage() {
+        let chain = XSubBufChain::new(XSubBuf::timely_default(), 12);
+        assert_eq!(chain.stages(), 12);
+        let outs = chain.propagate(Time::from_nanoseconds(1.0));
+        assert_eq!(outs.len(), 12);
+        assert!(outs.iter().all(|&t| t == Time::from_nanoseconds(1.0)));
+        assert!(
+            (chain.worst_case_error().as_picoseconds() - 5.0 * 12f64.sqrt()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn noisy_chain_error_grows_with_stage_index() {
+        let chain = XSubBufChain::new(
+            XSubBuf {
+                epsilon: Time::from_picoseconds(20.0),
+            },
+            12,
+        );
+        let input = Time::from_nanoseconds(10.0);
+        let trials = 3000;
+        let mut var_first = 0.0;
+        let mut var_last = 0.0;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..trials {
+            let outs = chain.propagate_noisy(input, &mut rng);
+            var_first += (outs[0].as_picoseconds() - input.as_picoseconds()).powi(2);
+            var_last += (outs[11].as_picoseconds() - input.as_picoseconds()).powi(2);
+        }
+        assert!(
+            var_last > 5.0 * var_first,
+            "variance should grow roughly linearly with stage count"
+        );
+    }
+
+    #[test]
+    fn p_subbuf_noise_scales_with_current() {
+        let p = PSubBuf { gain_error: 0.01 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let small = Current::from_microamps(1.0);
+        let large = Current::from_microamps(100.0);
+        let err_small: f64 = (0..2000)
+            .map(|_| (p.buffer_noisy(small, &mut rng).as_microamps() - 1.0).abs())
+            .sum();
+        let err_large: f64 = (0..2000)
+            .map(|_| (p.buffer_noisy(large, &mut rng).as_microamps() - 100.0).abs())
+            .sum();
+        assert!(err_large > 50.0 * err_small);
+    }
+}

@@ -1,0 +1,278 @@
+//! The two-phase charging unit + comparator (Fig. 6(e) and Eq. (2)).
+//!
+//! A sub-chip column's aggregated Psum charge is converted back into the time
+//! domain in two phases:
+//!
+//! * **Phase I** — every row `i` drives the column for its input duration
+//!   `T_i` through its cell resistance `R_i`, depositing charge
+//!   `Q₁ = Σᵢ V_DD·Tᵢ/Rᵢ` on the charging capacitor `C_c`.
+//! * **Phase II** — a constant current `I_c` tops the capacitor up until its
+//!   voltage crosses the comparator threshold `V_th` at time `T_x`; the
+//!   output time signal is `T_o = T̃ − T_x` where `T̃` is the phase duration.
+//!
+//! Choosing `I_c = V_DD·B·N_CB/R_min` (the largest possible phase-I current)
+//! and `V_th = I_c·T̃/C_c` makes the transfer function exactly
+//!
+//! ```text
+//! T_o = (R_min / (B·N_CB)) · Σᵢ Tᵢ/Rᵢ                    (Eq. 2, normalized)
+//! ```
+//!
+//! which is linear in the time-domain dot product and reaches `T̃` when every
+//! row is at maximum conductance with a full-scale input. (The paper's Eq. (2)
+//! carries an extra `1/C_c` factor that is dimensionally inconsistent; the
+//! normalized form above is what its Fig. 6(g) transfer curve depicts, and it
+//! is what we implement and verify.)
+
+use crate::error::AnalogError;
+use crate::units::{Capacitance, Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one charging unit + comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargingUnit {
+    /// Charging capacitance `C_c` (the LSB sub-ranging column uses `C_c/2`).
+    pub c_c: Capacitance,
+    /// Supply voltage `V_DD` of the time-domain signals.
+    pub v_dd: Voltage,
+    /// Phase duration `T̃` (one phase of the two-phase scheme).
+    pub phase: Time,
+    /// Minimum mapped resistance of the layer, `R_min`.
+    pub r_min: Resistance,
+    /// Number of rows feeding one column: `B · N_CB`.
+    pub rows: usize,
+}
+
+impl ChargingUnit {
+    /// TIMELY's design point: 1.2 V supply, 12.8 ns phase (the DTC dynamic
+    /// range), 50 kΩ `R_min`, and `B·N_CB = 256 × 16` rows per sub-chip
+    /// column. The capacitor value only scales internal voltages, not the
+    /// normalized transfer function.
+    pub fn timely_default() -> Self {
+        Self {
+            c_c: Capacitance::from_femtofarads(500.0),
+            v_dd: Voltage::from_volts(1.2),
+            phase: Time::from_nanoseconds(12.8),
+            r_min: Resistance::from_kilohms(50.0),
+            rows: 256 * 16,
+        }
+    }
+
+    /// The phase-II constant charging current `I_c = V_DD·rows/R_min`
+    /// (in amperes).
+    pub fn constant_current_amps(&self) -> f64 {
+        self.v_dd.as_volts() * self.rows as f64 / self.r_min.as_ohms()
+    }
+
+    /// The comparator threshold `V_th = I_c·T̃/C_c` (in volts).
+    pub fn threshold_volts(&self) -> f64 {
+        self.constant_current_amps() * self.phase.as_seconds() / self.c_c.as_farads()
+    }
+
+    /// Computes the output time signal for a column given every row's input
+    /// time and cell resistance.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::DimensionMismatch`] if the two slices have different
+    ///   lengths or exceed the configured row count.
+    /// * [`AnalogError::NonPositiveParameter`] if any resistance is zero or
+    ///   negative.
+    pub fn output_time(
+        &self,
+        input_times: &[Time],
+        resistances: &[Resistance],
+    ) -> Result<Time, AnalogError> {
+        if input_times.len() != resistances.len() || input_times.len() > self.rows {
+            return Err(AnalogError::DimensionMismatch {
+                expected: self.rows,
+                found: input_times.len(),
+            });
+        }
+        let mut weighted_sum = 0.0; // Σ T_i / R_i, in s/Ω
+        for (t, r) in input_times.iter().zip(resistances) {
+            if r.as_ohms() <= 0.0 {
+                return Err(AnalogError::NonPositiveParameter { name: "resistance" });
+            }
+            weighted_sum += t.as_seconds() / r.as_ohms();
+        }
+        let to_seconds = self.r_min.as_ohms() / self.rows as f64 * weighted_sum;
+        Ok(Time::from_seconds(to_seconds))
+    }
+
+    /// Computes the output time from an already-aggregated phase-I charge
+    /// `Q₁ = Σᵢ V_DD·Tᵢ/Rᵢ` (in coulombs), as produced by
+    /// [`crate::reram::Crossbar::column_charges`] and summed by an
+    /// [`crate::adder::IAdder`]: `T_o = Q₁ / I_c`.
+    pub fn output_time_from_charge(&self, charge_coulombs: f64) -> Time {
+        Time::from_seconds(charge_coulombs / self.constant_current_amps())
+    }
+
+    /// The phase-II duration `T_x = T̃ − T_o` for a given output; always in
+    /// `[0, T̃]` for in-range dot products.
+    pub fn phase_two_duration(&self, output: Time) -> Time {
+        Time::from_picoseconds(
+            (self.phase.as_picoseconds() - output.as_picoseconds()).max(0.0),
+        )
+    }
+}
+
+impl Default for ChargingUnit {
+    fn default() -> Self {
+        Self::timely_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::IAdder;
+    use crate::interface::{Dtc, Tdc};
+    use crate::reram::{CellConfig, Crossbar};
+
+    fn small_unit(rows: usize) -> ChargingUnit {
+        ChargingUnit {
+            c_c: Capacitance::from_femtofarads(100.0),
+            v_dd: Voltage::from_volts(1.2),
+            phase: Time::from_nanoseconds(12.8),
+            r_min: Resistance::from_kilohms(50.0),
+            rows,
+        }
+    }
+
+    #[test]
+    fn eq2_single_row_identity() {
+        // One row at R_min with input T produces output T (full-scale weight).
+        let unit = small_unit(1);
+        let t = Time::from_nanoseconds(5.0);
+        let out = unit
+            .output_time(&[t], &[Resistance::from_kilohms(50.0)])
+            .unwrap();
+        assert!((out.as_nanoseconds() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_scales_linearly_with_conductance_and_time() {
+        let unit = small_unit(1);
+        let t = Time::from_nanoseconds(4.0);
+        // Doubling the resistance halves the output.
+        let out_rmin = unit
+            .output_time(&[t], &[Resistance::from_kilohms(50.0)])
+            .unwrap();
+        let out_2rmin = unit
+            .output_time(&[t], &[Resistance::from_kilohms(100.0)])
+            .unwrap();
+        assert!((out_rmin.as_picoseconds() / out_2rmin.as_picoseconds() - 2.0).abs() < 1e-9);
+        // Doubling the input time doubles the output.
+        let out_2t = unit
+            .output_time(&[t * 2.0], &[Resistance::from_kilohms(50.0)])
+            .unwrap();
+        assert!((out_2t.as_picoseconds() / out_rmin.as_picoseconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_scale_inputs_at_max_conductance_reach_the_phase_duration() {
+        let rows = 64;
+        let unit = small_unit(rows);
+        let times = vec![unit.phase; rows];
+        let resistances = vec![unit.r_min; rows];
+        let out = unit.output_time(&times, &resistances).unwrap();
+        assert!((out.as_picoseconds() - unit.phase.as_picoseconds()).abs() < 1e-6);
+        assert!(unit.phase_two_duration(out).as_picoseconds() < 1e-6);
+    }
+
+    #[test]
+    fn output_never_exceeds_phase_for_valid_operands() {
+        let rows = 32;
+        let unit = small_unit(rows);
+        let dtc = Dtc::timely_8bit();
+        let times: Vec<Time> = (0..rows as u32)
+            .map(|i| dtc.convert(i % 256).unwrap())
+            .collect();
+        let resistances = vec![Resistance::from_kilohms(50.0); rows];
+        let out = unit.output_time(&times, &resistances).unwrap();
+        assert!(out <= unit.phase);
+    }
+
+    #[test]
+    fn charge_based_path_matches_the_direct_path() {
+        // Drive a small crossbar, aggregate the charge through an I-adder and
+        // convert via `output_time_from_charge`; compare against the direct
+        // Eq. (2) evaluation over the same rows.
+        let cfg = CellConfig::timely_4bit();
+        let rows = 8;
+        let mut xbar = Crossbar::new(cfg, rows, 1);
+        let levels: Vec<u32> = (0..rows as u32).map(|i| i % 16).collect();
+        xbar.program_column(0, &levels).unwrap();
+        let dtc = Dtc::timely_8bit();
+        let times: Vec<Time> = (0..rows as u32)
+            .map(|i| dtc.convert((i * 31) % 256).unwrap())
+            .collect();
+        let unit = small_unit(rows);
+        let charges = xbar.column_charges(&times, unit.v_dd).unwrap();
+        let total = IAdder::new(4).sum_charges(&charges);
+        let from_charge = unit.output_time_from_charge(total);
+
+        let resistances: Vec<Resistance> = levels
+            .iter()
+            .map(|&l| cfg.resistance(l).unwrap())
+            .collect();
+        let direct = unit.output_time(&times, &resistances).unwrap();
+        let rel = (from_charge.as_picoseconds() - direct.as_picoseconds()).abs()
+            / direct.as_picoseconds();
+        assert!(rel < 1e-9, "relative mismatch {rel}");
+    }
+
+    #[test]
+    fn digitized_output_tracks_the_digital_dot_product() {
+        // End-to-end: DTC -> crossbar -> charging unit -> TDC should be a
+        // monotonic (approximately linear) function of the exact integer dot
+        // product.
+        let cfg = CellConfig::timely_4bit();
+        let rows = 16;
+        let unit = small_unit(rows);
+        let dtc = Dtc::timely_8bit();
+        let tdc = Tdc {
+            bits: 8,
+            unit_delay: Time::from_picoseconds(
+                unit.phase.as_picoseconds() / 256.0,
+            ),
+        };
+        let mut previous_code = 0;
+        for scale in [0u32, 64, 128, 192, 255] {
+            let mut xbar = Crossbar::new(cfg, rows, 1);
+            let levels: Vec<u32> = (0..rows as u32).map(|i| (i + 3) % 16).collect();
+            xbar.program_column(0, &levels).unwrap();
+            let times: Vec<Time> = (0..rows).map(|_| dtc.convert(scale).unwrap()).collect();
+            let resistances: Vec<Resistance> =
+                levels.iter().map(|&l| cfg.resistance(l).unwrap()).collect();
+            let out = unit.output_time(&times, &resistances).unwrap();
+            let code = tdc.convert(out);
+            assert!(code >= previous_code, "codes must be monotonic in the dot product");
+            previous_code = code;
+        }
+        assert!(previous_code > 0);
+    }
+
+    #[test]
+    fn dimension_and_parameter_validation() {
+        let unit = small_unit(4);
+        let t = vec![Time::from_nanoseconds(1.0); 2];
+        let r = vec![Resistance::from_kilohms(50.0); 3];
+        assert!(unit.output_time(&t, &r).is_err());
+        let bad_r = vec![Resistance::from_ohms(0.0); 2];
+        assert!(matches!(
+            unit.output_time(&t, &bad_r),
+            Err(AnalogError::NonPositiveParameter { .. })
+        ));
+        let too_many = vec![Time::from_nanoseconds(1.0); 10];
+        let too_many_r = vec![Resistance::from_kilohms(50.0); 10];
+        assert!(unit.output_time(&too_many, &too_many_r).is_err());
+    }
+
+    #[test]
+    fn threshold_and_constant_current_are_positive() {
+        let unit = ChargingUnit::timely_default();
+        assert!(unit.constant_current_amps() > 0.0);
+        assert!(unit.threshold_volts() > 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The per-component energy/area/latency library.
+//!
+//! The numbers here are the paper's published constants:
+//!
+//! * **Table II** — TIMELY's component specifications in a commercial 65 nm
+//!   CMOS process at 1.2 V and 40 MHz (per-conversion/per-access energies and
+//!   per-instance areas),
+//! * **Fig. 5(d)** — normalized unit energies of the different data accesses
+//!   and interfaces (`e_R2`, `e_X`, `e_P`, `e_DAC`, `e_DTC`, `e_ADC`,
+//!   `e_TDC`),
+//! * **§III-B / §VI-C** — the derived ratios the paper quotes: a high-cost
+//!   memory access costs ≈9× a P-subBuf access and ≈33× an X-subBuf access;
+//!   an L2 access costs 146.7×/6.9× an L1 read/write; `q1 = e_DAC/e_DTC ≈ 50`
+//!   and `q2 = e_ADC/e_TDC ≈ 20`.
+//!
+//! The architecture crates treat this library as ground truth and never
+//! hard-code raw numbers elsewhere.
+
+use crate::units::{Area, Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// Energy, area, and latency of one component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Energy of one operation (conversion, access, or activation).
+    pub energy_per_op: Energy,
+    /// Silicon area of one instance.
+    pub area: Area,
+    /// Latency of one operation.
+    pub latency: Time,
+}
+
+impl ComponentSpec {
+    /// Creates a component specification.
+    pub fn new(energy_per_op: Energy, area: Area, latency: Time) -> Self {
+        Self {
+            energy_per_op,
+            area,
+            latency,
+        }
+    }
+}
+
+/// The normalized unit energies of Fig. 5(d), all relative to the
+/// corresponding voltage-domain/high-cost reference (which is 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedUnitEnergies {
+    /// `e_DTC / e_DAC` (paper: 0.02, i.e. `q1 ≈ 50`).
+    pub dtc_vs_dac: f64,
+    /// `e_TDC / e_ADC` (paper: 0.05, i.e. `q2 ≈ 20`).
+    pub tdc_vs_adc: f64,
+    /// `e_P / e_R2`: P-subBuf access vs. ReRAM input/output-buffer access
+    /// (paper: 0.11, i.e. ≈9× cheaper).
+    pub p_subbuf_vs_buffer: f64,
+    /// `e_X / e_R2`: X-subBuf access vs. ReRAM input/output-buffer access
+    /// (paper: 0.03, i.e. ≈33× cheaper).
+    pub x_subbuf_vs_buffer: f64,
+}
+
+impl NormalizedUnitEnergies {
+    /// The paper's Fig. 5(d) values.
+    pub fn paper() -> Self {
+        Self {
+            dtc_vs_dac: 0.02,
+            tdc_vs_adc: 0.05,
+            p_subbuf_vs_buffer: 0.11,
+            x_subbuf_vs_buffer: 0.03,
+        }
+    }
+
+    /// `q1 = e_DAC / e_DTC` (≈50 in the paper).
+    pub fn q1(&self) -> f64 {
+        1.0 / self.dtc_vs_dac
+    }
+
+    /// `q2 = e_ADC / e_TDC` (≈20 in the paper).
+    pub fn q2(&self) -> f64 {
+        1.0 / self.tdc_vs_adc
+    }
+}
+
+/// The complete component library used by the architecture-level models.
+///
+/// Energies are per *operation* (one conversion, one element access, one
+/// crossbar column activation, …); areas are per *instance*. The sub-chip
+/// composition (how many instances of each component a sub-chip holds) lives
+/// in `timely-core`, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentLibrary {
+    /// 8-bit digital-to-time converter (Table II: 37.5 fJ, 240 µm², 25 ns).
+    pub dtc: ComponentSpec,
+    /// 8-bit time-to-digital converter (Table II: 145 fJ, 310 µm², 25 ns).
+    pub tdc: ComponentSpec,
+    /// Voltage-domain DAC used by the baselines (derived: `e_DTC · q1`).
+    pub dac: ComponentSpec,
+    /// Voltage-domain ADC used by the baselines (derived: `e_TDC · q2`).
+    pub adc: ComponentSpec,
+    /// One 256×256 ReRAM crossbar dot-product activation
+    /// (Table II: 1792 fJ, 100 µm²; the paper's 150 ns analog-compute stage).
+    pub reram_crossbar: ComponentSpec,
+    /// One charging-unit + comparator evaluation (Table II: 41.7 fJ, 40 µm²).
+    pub charging_comparator: ComponentSpec,
+    /// One X-subBuf access (Table II: 0.62 fJ, 5 µm²).
+    pub x_subbuf: ComponentSpec,
+    /// One P-subBuf access (Table II: 2.3 fJ, 5 µm²).
+    pub p_subbuf: ComponentSpec,
+    /// One I-adder evaluation (Table II: 36.8 fJ, 40 µm²).
+    pub i_adder: ComponentSpec,
+    /// One ReLU evaluation (Table II: 205 fJ, 300 µm²).
+    pub relu: ComponentSpec,
+    /// One max-pool evaluation (Table II: 330 fJ, 240 µm²).
+    pub maxpool: ComponentSpec,
+    /// One access of the sub-chip's 2 KB input buffer (ReRAM L1 read,
+    /// Table II: 12 736 fJ, 50 µm²). This is the "high-cost memory" access of
+    /// Innovation #1 whose count the ALBs and O2IR minimize.
+    pub input_buffer_access: ComponentSpec,
+    /// One access of the sub-chip's 2 KB output buffer (ReRAM L1 write,
+    /// Table II: 31 039 fJ, 50 µm²).
+    pub output_buffer_access: ComponentSpec,
+    /// One inter-chip HyperTransport link transfer of a 16-bit word
+    /// (Table II: 1620 fJ, 5.7 mm² per link).
+    pub hyper_link: ComponentSpec,
+}
+
+impl ComponentLibrary {
+    /// The paper's 65 nm component library (Table II + Fig. 5(d)).
+    pub fn timely_65nm() -> Self {
+        let norm = NormalizedUnitEnergies::paper();
+        let dtc_energy = 37.5;
+        let tdc_energy = 145.0;
+        Self {
+            dtc: ComponentSpec::new(
+                Energy::from_femtojoules(dtc_energy),
+                Area::from_square_microns(240.0),
+                Time::from_nanoseconds(25.0),
+            ),
+            tdc: ComponentSpec::new(
+                Energy::from_femtojoules(tdc_energy),
+                Area::from_square_microns(310.0),
+                Time::from_nanoseconds(25.0),
+            ),
+            dac: ComponentSpec::new(
+                Energy::from_femtojoules(dtc_energy * norm.q1()),
+                Area::from_square_microns(500.0),
+                Time::from_nanoseconds(5.0),
+            ),
+            adc: ComponentSpec::new(
+                Energy::from_femtojoules(tdc_energy * norm.q2()),
+                Area::from_square_microns(1200.0),
+                Time::from_nanoseconds(5.0),
+            ),
+            reram_crossbar: ComponentSpec::new(
+                Energy::from_femtojoules(1792.0),
+                Area::from_square_microns(100.0),
+                Time::from_nanoseconds(150.0),
+            ),
+            charging_comparator: ComponentSpec::new(
+                Energy::from_femtojoules(41.7),
+                Area::from_square_microns(40.0),
+                Time::from_nanoseconds(25.0),
+            ),
+            x_subbuf: ComponentSpec::new(
+                Energy::from_femtojoules(0.62),
+                Area::from_square_microns(5.0),
+                Time::from_picoseconds(50.0),
+            ),
+            p_subbuf: ComponentSpec::new(
+                Energy::from_femtojoules(2.3),
+                Area::from_square_microns(5.0),
+                Time::from_picoseconds(50.0),
+            ),
+            i_adder: ComponentSpec::new(
+                Energy::from_femtojoules(36.8),
+                Area::from_square_microns(40.0),
+                Time::from_nanoseconds(1.0),
+            ),
+            relu: ComponentSpec::new(
+                Energy::from_femtojoules(205.0),
+                Area::from_square_microns(300.0),
+                Time::from_nanoseconds(1.0),
+            ),
+            maxpool: ComponentSpec::new(
+                Energy::from_femtojoules(330.0),
+                Area::from_square_microns(240.0),
+                Time::from_nanoseconds(1.0),
+            ),
+            input_buffer_access: ComponentSpec::new(
+                Energy::from_femtojoules(12_736.0),
+                Area::from_square_microns(50.0),
+                Time::from_nanoseconds(16.0),
+            ),
+            output_buffer_access: ComponentSpec::new(
+                Energy::from_femtojoules(31_039.0),
+                Area::from_square_microns(50.0),
+                Time::from_nanoseconds(160.0),
+            ),
+            hyper_link: ComponentSpec::new(
+                Energy::from_femtojoules(1620.0),
+                Area::from_square_millimeters(5.7),
+                Time::from_nanoseconds(10.0),
+            ),
+        }
+    }
+
+    /// The normalized *interface* unit energies implied by this library (for
+    /// checking against Fig. 5(d)). The buffer-relative ratios are reported
+    /// against the Fig. 5(d) reference access (a per-element unit access of
+    /// ≈20.7 fJ) rather than the full 2 KB buffer-access energy of Table II,
+    /// because the paper normalizes against the former.
+    pub fn normalized(&self) -> NormalizedUnitEnergies {
+        let reference_unit_access = self.x_subbuf.energy_per_op
+            / NormalizedUnitEnergies::paper().x_subbuf_vs_buffer;
+        NormalizedUnitEnergies {
+            dtc_vs_dac: self.dtc.energy_per_op / self.dac.energy_per_op,
+            tdc_vs_adc: self.tdc.energy_per_op / self.adc.energy_per_op,
+            p_subbuf_vs_buffer: self.p_subbuf.energy_per_op / reference_unit_access,
+            x_subbuf_vs_buffer: self.x_subbuf.energy_per_op / reference_unit_access,
+        }
+    }
+}
+
+impl Default for ComponentLibrary {
+    fn default() -> Self {
+        Self::timely_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_energies_are_reproduced() {
+        let lib = ComponentLibrary::timely_65nm();
+        assert_eq!(lib.dtc.energy_per_op.as_femtojoules(), 37.5);
+        assert_eq!(lib.tdc.energy_per_op.as_femtojoules(), 145.0);
+        assert_eq!(lib.reram_crossbar.energy_per_op.as_femtojoules(), 1792.0);
+        assert_eq!(lib.charging_comparator.energy_per_op.as_femtojoules(), 41.7);
+        assert_eq!(lib.x_subbuf.energy_per_op.as_femtojoules(), 0.62);
+        assert_eq!(lib.p_subbuf.energy_per_op.as_femtojoules(), 2.3);
+        assert_eq!(lib.i_adder.energy_per_op.as_femtojoules(), 36.8);
+        assert_eq!(lib.relu.energy_per_op.as_femtojoules(), 205.0);
+        assert_eq!(lib.maxpool.energy_per_op.as_femtojoules(), 330.0);
+        assert_eq!(lib.hyper_link.energy_per_op.as_femtojoules(), 1620.0);
+    }
+
+    #[test]
+    fn table_ii_areas_are_reproduced() {
+        let lib = ComponentLibrary::timely_65nm();
+        assert_eq!(lib.dtc.area.as_square_microns(), 240.0);
+        assert_eq!(lib.tdc.area.as_square_microns(), 310.0);
+        assert_eq!(lib.reram_crossbar.area.as_square_microns(), 100.0);
+        assert_eq!(lib.x_subbuf.area.as_square_microns(), 5.0);
+        assert_eq!(lib.p_subbuf.area.as_square_microns(), 5.0);
+        assert_eq!(lib.relu.area.as_square_microns(), 300.0);
+        assert_eq!(lib.maxpool.area.as_square_microns(), 240.0);
+    }
+
+    #[test]
+    fn interface_ratios_match_section_iii() {
+        let lib = ComponentLibrary::timely_65nm();
+        let q1 = lib.dac.energy_per_op / lib.dtc.energy_per_op;
+        let q2 = lib.adc.energy_per_op / lib.tdc.energy_per_op;
+        assert!((q1 - 50.0).abs() < 1.0, "q1 = {q1}");
+        assert!((q2 - 20.0).abs() < 1.0, "q2 = {q2}");
+    }
+
+    #[test]
+    fn table_ii_buffer_access_energies_are_reproduced() {
+        let lib = ComponentLibrary::timely_65nm();
+        assert_eq!(lib.input_buffer_access.energy_per_op.as_femtojoules(), 12_736.0);
+        assert_eq!(lib.output_buffer_access.energy_per_op.as_femtojoules(), 31_039.0);
+        // Buffer accesses are orders of magnitude costlier than ALB accesses,
+        // which is the premise of Innovation #1.
+        assert!(
+            lib.input_buffer_access.energy_per_op.as_femtojoules()
+                > 1_000.0 * lib.x_subbuf.energy_per_op.as_femtojoules()
+        );
+    }
+
+    #[test]
+    fn normalized_energies_match_fig_5d() {
+        let norm = ComponentLibrary::timely_65nm().normalized();
+        let paper = NormalizedUnitEnergies::paper();
+        assert!((norm.dtc_vs_dac - paper.dtc_vs_dac).abs() < 0.005);
+        assert!((norm.tdc_vs_adc - paper.tdc_vs_adc).abs() < 0.005);
+        assert!((norm.p_subbuf_vs_buffer - paper.p_subbuf_vs_buffer).abs() < 0.01);
+        assert!((norm.x_subbuf_vs_buffer - paper.x_subbuf_vs_buffer).abs() < 0.005);
+    }
+
+    #[test]
+    fn dtc_and_tdc_conversion_latency_is_25_ns() {
+        let lib = ComponentLibrary::timely_65nm();
+        assert_eq!(lib.dtc.latency.as_nanoseconds(), 25.0);
+        assert_eq!(lib.tdc.latency.as_nanoseconds(), 25.0);
+    }
+
+    #[test]
+    fn q_factors_from_paper_constants() {
+        let norm = NormalizedUnitEnergies::paper();
+        assert!((norm.q1() - 50.0).abs() < 1e-9);
+        assert!((norm.q2() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_the_65nm_library() {
+        assert_eq!(ComponentLibrary::default(), ComponentLibrary::timely_65nm());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the analog substrate.
+
+use std::fmt;
+
+/// Error produced by analog component models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    /// A digital code does not fit in the converter's resolution.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u32,
+        /// The converter resolution in bits.
+        bits: u8,
+    },
+    /// A weight level does not fit in the ReRAM cell's bit capacity.
+    LevelOutOfRange {
+        /// The offending level.
+        level: u32,
+        /// The cell resolution in bits.
+        bits: u8,
+    },
+    /// A vector supplied to a crossbar operation has the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// A physical parameter is non-positive where a positive value is
+    /// required (e.g. a resistance or capacitance of zero).
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::CodeOutOfRange { code, bits } => {
+                write!(f, "digital code {code} does not fit in {bits} bits")
+            }
+            AnalogError::LevelOutOfRange { level, bits } => {
+                write!(f, "weight level {level} does not fit in a {bits}-bit cell")
+            }
+            AnalogError::DimensionMismatch { expected, found } => {
+                write!(f, "expected a vector of length {expected}, found {found}")
+            }
+            AnalogError::NonPositiveParameter { name } => {
+                write!(f, "parameter `{name}` must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        assert!(AnalogError::CodeOutOfRange { code: 300, bits: 8 }
+            .to_string()
+            .contains("300"));
+        assert!(AnalogError::DimensionMismatch {
+            expected: 256,
+            found: 3
+        }
+        .to_string()
+        .contains("256"));
+        assert!(AnalogError::NonPositiveParameter { name: "c_c" }
+            .to_string()
+            .contains("c_c"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<AnalogError>();
+    }
+}

@@ -1,0 +1,237 @@
+//! Digital↔analog interfaces.
+//!
+//! TIMELY interfaces its crossbars with **time-domain** converters: an 8-bit
+//! DTC turns a digital input code into a delay (a multiple of the 50 ps unit
+//! delay `T_del`), and an 8-bit TDC quantizes a delay back into a code
+//! (Fig. 6(f)). The baselines interface in the **voltage domain** with DACs
+//! and ADCs; the paper's argument is that one voltage-domain conversion costs
+//! `q1 ≈ 50×` (DAC vs. DTC) / `q2 ≈ 20×` (ADC vs. TDC) more energy.
+
+use crate::error::AnalogError;
+use crate::units::{Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit (by default) digital-to-time converter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dtc {
+    /// Converter resolution in bits.
+    pub bits: u8,
+    /// The unit delay `T_del` (50 ps in TIMELY).
+    pub unit_delay: Time,
+}
+
+impl Dtc {
+    /// TIMELY's DTC: 8 bits, 50 ps unit delay (25 ns conversion time with the
+    /// design margin included).
+    pub fn timely_8bit() -> Self {
+        Self {
+            bits: 8,
+            unit_delay: Time::from_picoseconds(50.0),
+        }
+    }
+
+    /// Number of representable codes (`2^bits`).
+    pub fn codes(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// The full-scale (dynamic) range of the output delay: `2^bits · T_del`
+    /// (12.8 ns for TIMELY's 8-bit DTC).
+    pub fn dynamic_range(&self) -> Time {
+        self.unit_delay * self.codes() as f64
+    }
+
+    /// Converts a digital code into a time-domain delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::CodeOutOfRange`] if `code >= 2^bits`.
+    pub fn convert(&self, code: u32) -> Result<Time, AnalogError> {
+        if code >= self.codes() {
+            return Err(AnalogError::CodeOutOfRange {
+                code,
+                bits: self.bits,
+            });
+        }
+        Ok(self.unit_delay * code as f64)
+    }
+}
+
+/// An 8-bit (by default) time-to-digital converter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tdc {
+    /// Converter resolution in bits.
+    pub bits: u8,
+    /// The unit delay `T_del` that one code step corresponds to.
+    pub unit_delay: Time,
+}
+
+impl Tdc {
+    /// TIMELY's TDC: 8 bits, 50 ps unit delay.
+    pub fn timely_8bit() -> Self {
+        Self {
+            bits: 8,
+            unit_delay: Time::from_picoseconds(50.0),
+        }
+    }
+
+    /// Number of representable codes (`2^bits`).
+    pub fn codes(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Quantizes a delay into a digital code, saturating at full scale.
+    /// Negative delays quantize to zero.
+    pub fn convert(&self, delay: Time) -> u32 {
+        let steps = (delay.as_picoseconds() / self.unit_delay.as_picoseconds()).round();
+        if steps <= 0.0 {
+            0
+        } else {
+            (steps as u32).min(self.codes() - 1)
+        }
+    }
+
+    /// The quantization error of converting `delay` (reconstruction minus
+    /// input), bounded by ±half a unit delay inside the dynamic range.
+    pub fn quantization_error(&self, delay: Time) -> Time {
+        let code = self.convert(delay);
+        self.unit_delay * code as f64 - delay
+    }
+}
+
+/// A voltage-domain digital-to-analog converter (used by the baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    /// Converter resolution in bits.
+    pub bits: u8,
+    /// Full-scale output voltage.
+    pub v_ref: Voltage,
+}
+
+impl Dac {
+    /// An 8-bit DAC with a 1.2 V reference (the baselines' supply).
+    pub fn baseline_8bit() -> Self {
+        Self {
+            bits: 8,
+            v_ref: Voltage::from_volts(1.2),
+        }
+    }
+
+    /// Number of representable codes.
+    pub fn codes(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Converts a code into an output voltage (`code / 2^bits · V_ref`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::CodeOutOfRange`] if `code >= 2^bits`.
+    pub fn convert(&self, code: u32) -> Result<Voltage, AnalogError> {
+        if code >= self.codes() {
+            return Err(AnalogError::CodeOutOfRange {
+                code,
+                bits: self.bits,
+            });
+        }
+        Ok(Voltage::from_volts(
+            self.v_ref.as_volts() * code as f64 / self.codes() as f64,
+        ))
+    }
+}
+
+/// A voltage-domain analog-to-digital converter (used by the baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Converter resolution in bits.
+    pub bits: u8,
+    /// Full-scale input voltage.
+    pub v_ref: Voltage,
+}
+
+impl Adc {
+    /// An 8-bit ADC with a 1.2 V reference.
+    pub fn baseline_8bit() -> Self {
+        Self {
+            bits: 8,
+            v_ref: Voltage::from_volts(1.2),
+        }
+    }
+
+    /// Number of representable codes.
+    pub fn codes(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Quantizes a voltage into a code, saturating at full scale.
+    pub fn convert(&self, v: Voltage) -> u32 {
+        let steps = (v.as_volts() / self.v_ref.as_volts() * self.codes() as f64).round();
+        if steps <= 0.0 {
+            0
+        } else {
+            (steps as u32).min(self.codes() - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtc_matches_fig_6f_characteristics() {
+        let dtc = Dtc::timely_8bit();
+        assert_eq!(dtc.codes(), 256);
+        // Dynamic range: 256 x 50 ps = 12.8 ns.
+        assert!((dtc.dynamic_range().as_nanoseconds() - 12.8).abs() < 1e-9);
+        assert_eq!(dtc.convert(0).unwrap(), Time::ZERO);
+        assert!((dtc.convert(255).unwrap().as_picoseconds() - 12_750.0).abs() < 1e-9);
+        assert!(dtc.convert(256).is_err());
+    }
+
+    #[test]
+    fn dtc_tdc_roundtrip_is_exact_for_every_code() {
+        let dtc = Dtc::timely_8bit();
+        let tdc = Tdc::timely_8bit();
+        for code in 0..dtc.codes() {
+            let delay = dtc.convert(code).unwrap();
+            assert_eq!(tdc.convert(delay), code);
+        }
+    }
+
+    #[test]
+    fn tdc_saturates_and_clamps_negative() {
+        let tdc = Tdc::timely_8bit();
+        assert_eq!(tdc.convert(Time::from_nanoseconds(1000.0)), 255);
+        assert_eq!(tdc.convert(Time::from_picoseconds(-10.0)), 0);
+    }
+
+    #[test]
+    fn tdc_quantization_error_is_bounded_by_half_lsb() {
+        let tdc = Tdc::timely_8bit();
+        for tenth_ps in 0..1000 {
+            let delay = Time::from_picoseconds(tenth_ps as f64 * 10.0);
+            let err = tdc.quantization_error(delay).as_picoseconds().abs();
+            assert!(err <= 25.0 + 1e-9, "error {err} ps at {delay}");
+        }
+    }
+
+    #[test]
+    fn dac_adc_roundtrip_within_one_code() {
+        let dac = Dac::baseline_8bit();
+        let adc = Adc::baseline_8bit();
+        for code in 0..dac.codes() {
+            let v = dac.convert(code).unwrap();
+            let back = adc.convert(v);
+            assert!((back as i64 - code as i64).abs() <= 1, "code {code} -> {back}");
+        }
+        assert!(dac.convert(999).is_err());
+    }
+
+    #[test]
+    fn adc_saturates() {
+        let adc = Adc::baseline_8bit();
+        assert_eq!(adc.convert(Voltage::from_volts(5.0)), 255);
+        assert_eq!(adc.convert(Voltage::from_volts(-1.0)), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Analog substrate for the TIMELY (ISCA 2020) reproduction.
+//!
+//! TIMELY computes convolutions inside ReRAM crossbar arrays with operands
+//! that live in the *time* and *current* domains rather than the voltage
+//! domain. This crate models those circuits at the behavioural level:
+//!
+//! * [`units`] — newtypes for energy, time, area, and electrical quantities,
+//! * [`components`] — the per-component energy/area/latency library
+//!   (Table II of the paper plus the normalized unit energies of Fig. 5(d)),
+//! * [`reram`] — ReRAM cells and crossbar arrays with 4-bit conductance
+//!   levels and the MSB/LSB sub-ranging scheme for 8-bit weights,
+//! * [`interface`] — digital-to-time and time-to-digital converters
+//!   (DTC/TDC) alongside the voltage-domain DAC/ADC models the baselines use,
+//! * [`alb`] — the analog local buffers: X-subBufs (time-signal latches) and
+//!   P-subBufs (current mirrors), including the cascaded-error model,
+//! * [`adder`] — current-mode I-adders,
+//! * [`charging`] — the two-phase charging unit + comparator implementing the
+//!   time-domain dot product of Eq. (2).
+//!
+//! The behavioural models are numerically verified against the paper's
+//! closed-form expressions in the unit tests; the architecture-level crate
+//! (`timely-core`) consumes both the behavioural models (for the accuracy
+//! study) and the component library (for energy/area accounting).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adder;
+pub mod alb;
+pub mod charging;
+pub mod components;
+pub mod error;
+pub mod interface;
+pub mod reram;
+pub mod units;
+
+pub use components::{ComponentLibrary, NormalizedUnitEnergies};
+pub use error::AnalogError;
+pub use units::{Area, Capacitance, Current, Energy, Resistance, Time, Voltage};

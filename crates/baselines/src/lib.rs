@@ -1,0 +1,37 @@
+//! Baseline accelerator models for the TIMELY reproduction.
+//!
+//! The paper compares TIMELY against four ReRAM-based PIM accelerators —
+//! PRIME, ISAAC, PipeLayer, and AtomLayer — and motivates the work with the
+//! "memory wall" of a non-PIM digital accelerator (Eyeriss). This crate
+//! models each of them at the level of detail the paper's evaluation needs:
+//!
+//! * [`prime`] — an event-count model of PRIME's bank/FF-subarray
+//!   organization, calibrated to its published energy breakdown (Fig. 4(b))
+//!   and peak numbers (Table IV). PRIME is the paper's most competitive
+//!   energy-efficiency baseline and the reference for Figs. 8, 9, and 11.
+//! * [`isaac`] — an event-count model of ISAAC's tile/IMA organization with
+//!   bit-serial inputs and shared ADCs, calibrated to its published breakdown
+//!   (Fig. 4(c)) and peak numbers.
+//! * [`simple`] — coarse models of PipeLayer, AtomLayer (peak-derived per-op
+//!   energies) and the Eyeriss-like non-PIM reference (Fig. 1(a)).
+//! * [`prime_alb`] — PRIME with TIMELY's ALB + O2IR principles applied to its
+//!   FF subarrays (the generalization study of Fig. 11).
+//!
+//! All models implement the [`Accelerator`] trait so the benchmark harness
+//! can sweep them uniformly; `timely_core::TimelyAccelerator` gets a blanket
+//! implementation via [`traits`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod isaac;
+pub mod prime;
+pub mod prime_alb;
+pub mod simple;
+pub mod traits;
+
+pub use isaac::IsaacModel;
+pub use prime::PrimeModel;
+pub use prime_alb::{IntraBankEnergy, PrimeWithAlbO2ir};
+pub use simple::{AtomLayerModel, EyerissModel, PipeLayerModel};
+pub use traits::{Accelerator, BaselineError, BaselineReport, EnergyByCategory, PeakSpec};

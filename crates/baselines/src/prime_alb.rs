@@ -1,0 +1,161 @@
+//! Applying TIMELY's ALB + O2IR principles to PRIME (the generalization study
+//! of Fig. 11).
+//!
+//! The paper modifies PRIME's FF subarrays by inserting X-subBufs and
+//! P-subBufs between the 128 crossbars of each bank and adopting the O2IR
+//! weight-mapping/dataflow, while keeping everything outside the FF subarray
+//! unchanged — so the modification only affects the *intra-bank* data
+//! movement energy, which drops by ≈68 %.
+
+use crate::prime::{PrimeConfig, PrimeModel};
+use crate::traits::BaselineError;
+use serde::{Deserialize, Serialize};
+use timely_analog::{ComponentLibrary, Energy};
+use timely_nn::workload::ModelWorkload;
+use timely_nn::Model;
+
+/// Intra-bank data-movement energy of PRIME with and without ALB + O2IR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntraBankEnergy {
+    /// Original PRIME: every output position re-reads its receptive field
+    /// from the bank buffer and every crossbar's Psum is written to and read
+    /// back from it.
+    pub original: Energy,
+    /// PRIME + ALB + O2IR: inputs are read once and distributed through
+    /// X-subBufs; Psums flow through P-subBufs and are accumulated before a
+    /// single write-back.
+    pub with_alb_o2ir: Energy,
+}
+
+impl IntraBankEnergy {
+    /// The fractional reduction in intra-bank data-movement energy
+    /// (Fig. 11(b): ≈68 %).
+    pub fn reduction(&self) -> f64 {
+        if self.original.is_zero() {
+            0.0
+        } else {
+            1.0 - self.with_alb_o2ir / self.original
+        }
+    }
+}
+
+/// PRIME with TIMELY's ALB and O2IR principles applied to its FF subarrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimeWithAlbO2ir {
+    prime: PrimeConfig,
+    components: ComponentLibrary,
+    /// Number of crossbars an input row is shared across inside one FF
+    /// subarray once the ALBs are inserted (the FF subarray holds 128
+    /// crossbars arranged as an 8×16 grid; sharing happens along one
+    /// dimension).
+    sharing_width: usize,
+}
+
+impl PrimeWithAlbO2ir {
+    /// Creates the modified-PRIME model with the paper's parameters.
+    pub fn new() -> Self {
+        Self {
+            prime: PrimeConfig::paper_default(),
+            components: ComponentLibrary::timely_65nm(),
+            sharing_width: 8,
+        }
+    }
+
+    /// Computes the intra-bank data-movement energy with and without the
+    /// modification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-analysis errors.
+    pub fn intra_bank_energy(&self, model: &Model) -> Result<IntraBankEnergy, BaselineError> {
+        let workload = ModelWorkload::try_analyze(model)?;
+        Ok(self.intra_bank_energy_for(&workload))
+    }
+
+    /// Computes the intra-bank energies from an analyzed workload.
+    pub fn intra_bank_energy_for(&self, workload: &ModelWorkload) -> IntraBankEnergy {
+        let prime_model = PrimeModel::new(self.prime.clone());
+        let counts = prime_model.counts(workload);
+        let buf_read = self.prime.buffer_read;
+        let buf_write = self.prime.buffer_write;
+
+        // Original PRIME intra-bank movement: every input read from the bank
+        // buffer once per output position, and every crossbar-column Psum
+        // written to and read back from the buffer before merging.
+        let original = buf_read * counts.input_reads as f64
+            + (buf_write + buf_read) * counts.column_activations as f64;
+
+        // With O2IR the inputs are read once per unique element; with ALBs
+        // each read is distributed through X-subBufs across the sharing width
+        // and Psums flow through one P-subBuf each, with only the merged
+        // Psums (one per output per segment group) written back.
+        let o2ir_reads: u64 = workload.layers.iter().map(|l| l.o2ir_input_reads()).sum();
+        let merged_psums: u64 = workload
+            .layers
+            .iter()
+            .map(|l| {
+                l.unique_outputs()
+                    * (l.filter_len() as u64)
+                        .div_ceil((self.prime.crossbar_size * self.sharing_width) as u64)
+            })
+            .sum();
+        let x = self.components.x_subbuf.energy_per_op;
+        let p = self.components.p_subbuf.energy_per_op;
+        let with_alb_o2ir = buf_read * o2ir_reads as f64
+            + x * (o2ir_reads * self.sharing_width as u64) as f64
+            + p * counts.column_activations as f64
+            + (buf_write + buf_read) * merged_psums as f64;
+
+        IntraBankEnergy {
+            original,
+            with_alb_o2ir,
+        }
+    }
+}
+
+impl Default for PrimeWithAlbO2ir {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timely_nn::zoo;
+
+    #[test]
+    fn fig_11_intra_bank_reduction_is_roughly_68_percent() {
+        let model = PrimeWithAlbO2ir::new();
+        let energy = model.intra_bank_energy(&zoo::vgg_d()).unwrap();
+        let reduction = energy.reduction();
+        assert!(
+            (0.5..0.95).contains(&reduction),
+            "intra-bank reduction {reduction:.3} (paper: ~0.68)"
+        );
+        assert!(energy.with_alb_o2ir < energy.original);
+    }
+
+    #[test]
+    fn reduction_holds_across_large_models() {
+        let model = PrimeWithAlbO2ir::new();
+        for zoo_model in [zoo::vgg_1(), zoo::resnet_18(), zoo::msra_1()] {
+            let energy = model.intra_bank_energy(&zoo_model).unwrap();
+            assert!(
+                energy.reduction() > 0.4,
+                "{}: reduction {:.3}",
+                zoo_model.name(),
+                energy.reduction()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_energy_edge_case() {
+        let e = IntraBankEnergy {
+            original: Energy::ZERO,
+            with_alb_o2ir: Energy::ZERO,
+        };
+        assert_eq!(e.reduction(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The common accelerator interface used by the benchmark harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use timely_analog::Energy;
+use timely_core::{ArchError, TimelyAccelerator};
+use timely_nn::Model;
+
+/// Error produced by a baseline accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The model cannot be evaluated on this accelerator (e.g. it does not
+    /// fit, or the published data needed to model it is unavailable).
+    Unsupported {
+        /// The accelerator's name.
+        accelerator: String,
+        /// Why the evaluation is unsupported.
+        reason: String,
+    },
+    /// An error propagated from the underlying architecture simulator.
+    Arch(ArchError),
+    /// An error propagated from the workload analysis.
+    Workload(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Unsupported {
+                accelerator,
+                reason,
+            } => write!(f, "{accelerator} cannot evaluate this model: {reason}"),
+            BaselineError::Arch(err) => write!(f, "architecture error: {err}"),
+            BaselineError::Workload(msg) => write!(f, "workload error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<ArchError> for BaselineError {
+    fn from(err: ArchError) -> Self {
+        BaselineError::Arch(err)
+    }
+}
+
+impl From<timely_nn::NnError> for BaselineError {
+    fn from(err: timely_nn::NnError) -> Self {
+        BaselineError::Workload(err.to_string())
+    }
+}
+
+/// Published (or computed) peak performance of an accelerator — the rows of
+/// Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakSpec {
+    /// Peak energy efficiency in TOPs/W.
+    pub tops_per_watt: f64,
+    /// Computational density in TOPs/(s·mm²).
+    pub tops_per_mm2: f64,
+    /// Bits of one counted operation (8-bit MAC vs. 16-bit MAC).
+    pub op_bits: u8,
+}
+
+/// Per-inference energy grouped the way the paper's breakdown figures group
+/// it (Fig. 4(b)/(c)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyByCategory {
+    /// Reading inputs from buffers/memory (including re-reads).
+    pub input_access: Energy,
+    /// Partial-sum and output movement (writes and re-reads).
+    pub psum_output_access: Energy,
+    /// Digital-to-analog interfacing (DACs or DTCs).
+    pub dac_interface: Energy,
+    /// Analog-to-digital interfacing (ADCs or TDCs).
+    pub adc_interface: Energy,
+    /// The analog (or digital) MAC computation itself.
+    pub compute: Energy,
+    /// Everything else: on-chip communication, control, eDRAM refresh,
+    /// digital post-processing.
+    pub other: Energy,
+}
+
+impl EnergyByCategory {
+    /// Total energy of one inference.
+    pub fn total(&self) -> Energy {
+        self.input_access
+            + self.psum_output_access
+            + self.dac_interface
+            + self.adc_interface
+            + self.compute
+            + self.other
+    }
+
+    /// The interfacing energy (DAC + ADC, or DTC + TDC).
+    pub fn interfaces(&self) -> Energy {
+        self.dac_interface + self.adc_interface
+    }
+
+    /// The data-movement energy (inputs + Psums/outputs).
+    pub fn data_movement(&self) -> Energy {
+        self.input_access + self.psum_output_access
+    }
+
+    /// Fraction of the total attributed to each category, in the order
+    /// `(inputs, psums+outputs, DAC, ADC, compute, other)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64, f64) {
+        let total = self.total();
+        if total.is_zero() {
+            return (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.input_access / total,
+            self.psum_output_access / total,
+            self.dac_interface / total,
+            self.adc_interface / total,
+            self.compute / total,
+            self.other / total,
+        )
+    }
+}
+
+/// The result of evaluating one model on one accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// The accelerator that produced this report.
+    pub accelerator: String,
+    /// The evaluated model.
+    pub model_name: String,
+    /// MACs per inference.
+    pub total_macs: u64,
+    /// Per-inference energy by category.
+    pub energy: EnergyByCategory,
+    /// Steady-state throughput in inferences per second.
+    pub inferences_per_second: f64,
+}
+
+impl BaselineReport {
+    /// Workload energy efficiency in TOPs/W.
+    pub fn tops_per_watt(&self) -> f64 {
+        if self.energy.total().is_zero() {
+            0.0
+        } else {
+            self.total_macs as f64 / self.energy.total().as_picojoules()
+        }
+    }
+
+    /// Energy of one inference in millijoules.
+    pub fn energy_millijoules(&self) -> f64 {
+        self.energy.total().as_millijoules()
+    }
+}
+
+/// A CNN/DNN inference accelerator that the harness can evaluate models on.
+pub trait Accelerator {
+    /// The accelerator's display name (e.g. `"PRIME"`).
+    fn name(&self) -> &str;
+
+    /// Peak performance (Table IV row).
+    fn peak(&self) -> PeakSpec;
+
+    /// Evaluates one inference of `model`, returning energy and throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] when the model cannot be mapped onto the
+    /// accelerator or the analysis fails.
+    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError>;
+}
+
+impl Accelerator for TimelyAccelerator {
+    fn name(&self) -> &str {
+        "TIMELY"
+    }
+
+    fn peak(&self) -> PeakSpec {
+        let peak = TimelyAccelerator::peak(self);
+        PeakSpec {
+            tops_per_watt: peak.tops_per_watt,
+            tops_per_mm2: peak.tops_per_mm2,
+            op_bits: peak.op_bits,
+        }
+    }
+
+    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
+        let report = TimelyAccelerator::evaluate(self, model)?;
+        let energy = EnergyByCategory {
+            input_access: report.energy.l1_input_reads + report.energy.x_subbuf,
+            psum_output_access: report.energy.l1_output_writes
+                + report.energy.l1_psum_traffic
+                + report.energy.p_subbuf
+                + report.energy.i_adder
+                + report.energy.charging
+                + report.energy.hyperlink,
+            dac_interface: report.energy.dtc + report.energy.dac,
+            adc_interface: report.energy.tdc + report.energy.adc,
+            compute: report.energy.crossbar,
+            other: report.energy.relu + report.energy.maxpool,
+        };
+        Ok(BaselineReport {
+            accelerator: "TIMELY".to_string(),
+            model_name: report.model_name.clone(),
+            total_macs: report.total_macs,
+            energy,
+            inferences_per_second: report.throughput_inferences_per_second(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timely_core::TimelyConfig;
+    use timely_nn::zoo;
+
+    #[test]
+    fn energy_categories_sum_to_total() {
+        let e = EnergyByCategory {
+            input_access: Energy::from_millijoules(1.0),
+            psum_output_access: Energy::from_millijoules(2.0),
+            dac_interface: Energy::from_millijoules(0.1),
+            adc_interface: Energy::from_millijoules(0.4),
+            compute: Energy::from_millijoules(0.5),
+            other: Energy::from_millijoules(0.0),
+        };
+        assert!((e.total().as_millijoules() - 4.0).abs() < 1e-12);
+        let fractions = e.fractions();
+        assert!((fractions.0 - 0.25).abs() < 1e-12);
+        assert!((fractions.1 - 0.5).abs() < 1e-12);
+        let zero = EnergyByCategory::default();
+        assert_eq!(zero.fractions().0, 0.0);
+    }
+
+    #[test]
+    fn timely_implements_the_accelerator_trait() {
+        let accel = TimelyAccelerator::new(TimelyConfig::paper_default());
+        assert_eq!(Accelerator::name(&accel), "TIMELY");
+        let report = Accelerator::evaluate(&accel, &zoo::cnn_1()).unwrap();
+        assert_eq!(report.accelerator, "TIMELY");
+        assert!(report.tops_per_watt() > 0.0);
+        let peak = Accelerator::peak(&accel);
+        assert!(peak.tops_per_watt > 0.0);
+        // The trait view's total must match the native report's total.
+        let native = TimelyAccelerator::evaluate(&accel, &zoo::cnn_1()).unwrap();
+        let rel = (report.energy.total().as_femtojoules()
+            - native.energy.total().as_femtojoules())
+        .abs()
+            / native.energy.total().as_femtojoules();
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = BaselineReport {
+            accelerator: "X".into(),
+            model_name: "m".into(),
+            total_macs: 1_000_000,
+            energy: EnergyByCategory {
+                compute: Energy::from_picojoules(1_000_000.0),
+                ..Default::default()
+            },
+            inferences_per_second: 10.0,
+        };
+        assert!((report.tops_per_watt() - 1.0).abs() < 1e-12);
+        assert!(report.energy_millijoules() > 0.0);
+    }
+
+    #[test]
+    fn errors_are_displayable_and_convertible() {
+        let err = BaselineError::Unsupported {
+            accelerator: "PipeLayer".into(),
+            reason: "no per-layer data published".into(),
+        };
+        assert!(err.to_string().contains("PipeLayer"));
+        let arch: BaselineError = ArchError::InvalidConfig {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(matches!(arch, BaselineError::Arch(_)));
+    }
+}

@@ -1,0 +1,30 @@
+//! Ablation bench for the DTC/TDC sharing factor γ (§V: γ trades throughput
+//! against computational density). Each γ value is benchmarked as a full
+//! peak-performance + VGG-1 throughput evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timely_core::{PeakPerformance, ThroughputReport, TimelyConfig};
+use timely_nn::zoo;
+
+fn bench_gamma_sweep(c: &mut Criterion) {
+    let model = zoo::vgg_1();
+    let mut group = c.benchmark_group("gamma_sweep");
+    for gamma in [2usize, 4, 8, 16, 32] {
+        let config = TimelyConfig::builder()
+            .gamma(gamma)
+            .build()
+            .expect("gamma divides the crossbar size");
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &config, |b, cfg| {
+            b.iter(|| {
+                let peak = PeakPerformance::for_config(cfg);
+                let throughput =
+                    ThroughputReport::for_model(&model, cfg).expect("VGG-1 fits on TIMELY");
+                (peak, throughput)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gamma_sweep);
+criterion_main!(benches);

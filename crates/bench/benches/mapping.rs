@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the workload analysis and O2IR mapping
+//! stages, which dominate the simulator's runtime on deep models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timely_core::{ModelMapping, TimelyConfig};
+use timely_nn::workload::ModelWorkload;
+use timely_nn::zoo;
+
+fn bench_workload_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_analysis");
+    for model in [zoo::vgg_d(), zoo::resnet_50(), zoo::resnet_152()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name().to_string()),
+            &model,
+            |b, m| b.iter(|| ModelWorkload::analyze(m)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_o2ir_mapping(c: &mut Criterion) {
+    let config = TimelyConfig::paper_default();
+    let mut group = c.benchmark_group("o2ir_mapping");
+    for model in [zoo::vgg_d(), zoo::resnet_50()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name().to_string()),
+            &model,
+            |b, m| b.iter(|| ModelMapping::analyze(m, &config).expect("mapping succeeds")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_analysis, bench_o2ir_mapping);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the end-to-end simulator: how long it takes
+//! to evaluate a model on TIMELY and on the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timely_baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely_core::{TimelyAccelerator, TimelyConfig};
+use timely_nn::zoo;
+
+fn bench_timely_evaluate(c: &mut Criterion) {
+    let accelerator = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let mut group = c.benchmark_group("timely_evaluate");
+    for model in [zoo::cnn_1(), zoo::vgg_1(), zoo::resnet_18()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name().to_string()),
+            &model,
+            |b, m| b.iter(|| accelerator.evaluate(m).expect("evaluation succeeds")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline_evaluate(c: &mut Criterion) {
+    let prime = PrimeModel::default();
+    let isaac = IsaacModel::default();
+    let model = zoo::vgg_1();
+    let mut group = c.benchmark_group("baseline_evaluate");
+    group.bench_function("prime_vgg1", |b| {
+        b.iter(|| prime.evaluate(&model).expect("PRIME evaluates VGG-1"))
+    });
+    group.bench_function("isaac_vgg1", |b| {
+        b.iter(|| isaac.evaluate(&model).expect("ISAAC evaluates VGG-1"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timely_evaluate, bench_baseline_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Fig. 8(a): TIMELY's normalized energy efficiency over PRIME (8-bit,
+//! PRIME's benchmarks plus the recent CNNs) and over ISAAC (16-bit, ISAAC's
+//! benchmarks), including the geometric means (paper: ≈10× and ≈14.8×).
+
+use timely_baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely_bench::table::{geometric_mean, Table};
+use timely_core::{TimelyAccelerator, TimelyConfig};
+use timely_nn::zoo;
+
+fn main() {
+    // --- vs PRIME (8-bit inputs/weights) -------------------------------------
+    let timely8 = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    let prime_models = [
+        zoo::vgg_d(),
+        zoo::cnn_1(),
+        zoo::mlp_l(),
+        zoo::resnet_18(),
+        zoo::resnet_50(),
+        zoo::resnet_101(),
+        zoo::resnet_152(),
+        zoo::squeezenet(),
+    ];
+    let mut table = Table::new(
+        "Fig. 8(a) - normalized energy efficiency of TIMELY over PRIME (paper geometric mean ~10x; VGG-D 15.6x)",
+        &["model", "TIMELY (mJ)", "PRIME (mJ)", "improvement"],
+    );
+    let mut ratios = Vec::new();
+    for model in &prime_models {
+        let t = Accelerator::evaluate(&timely8, model).expect("TIMELY evaluates zoo models");
+        let p = prime.evaluate(model).expect("PRIME evaluates zoo models");
+        let ratio = p.energy_millijoules() / t.energy_millijoules();
+        ratios.push(ratio);
+        table.row(&[
+            model.name().to_string(),
+            format!("{:.3}", t.energy_millijoules()),
+            format!("{:.3}", p.energy_millijoules()),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    table.row(&[
+        "Geometric mean".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.1}x", geometric_mean(&ratios)),
+    ]);
+    table.print();
+
+    // --- vs ISAAC (16-bit inputs/weights) ------------------------------------
+    let timely16 = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+    let isaac = IsaacModel::default();
+    let mut table = Table::new(
+        "Fig. 8(a) - normalized energy efficiency of TIMELY over ISAAC (paper geometric mean ~14.8x)",
+        &["model", "TIMELY (mJ)", "ISAAC (mJ)", "improvement"],
+    );
+    let mut ratios = Vec::new();
+    for model in zoo::isaac_benchmarks() {
+        let t = Accelerator::evaluate(&timely16, &model).expect("TIMELY evaluates zoo models");
+        let i = isaac.evaluate(&model).expect("ISAAC evaluates zoo models");
+        let ratio = i.energy_millijoules() / t.energy_millijoules();
+        ratios.push(ratio);
+        table.row(&[
+            model.name().to_string(),
+            format!("{:.3}", t.energy_millijoules()),
+            format!("{:.3}", i.energy_millijoules()),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    table.row(&[
+        "Geometric mean".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.1}x", geometric_mean(&ratios)),
+    ]);
+    table.print();
+}

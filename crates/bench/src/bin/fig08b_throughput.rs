@@ -1,0 +1,85 @@
+//! Fig. 8(b): TIMELY's normalized throughput over PRIME and ISAAC for 16-,
+//! 32-, and 64-chip configurations (paper: 736.6× over PRIME on VGG-D;
+//! geometric means of 2.1×/2.4×/2.7× over ISAAC).
+
+use timely_baselines::isaac::IsaacConfig;
+use timely_baselines::prime::PrimeConfig;
+use timely_baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely_bench::table::{geometric_mean, Table};
+use timely_core::{TimelyAccelerator, TimelyConfig};
+use timely_nn::zoo;
+
+fn timely_with_chips(chips: usize, sixteen_bit: bool) -> TimelyAccelerator {
+    let base = if sixteen_bit {
+        TimelyConfig::paper_16bit()
+    } else {
+        TimelyConfig::paper_default()
+    };
+    let mut builder = TimelyConfig::builder();
+    builder
+        .precision(base.weight_bits, base.activation_bits)
+        .chips(chips);
+    TimelyAccelerator::new(builder.build().expect("valid config"))
+}
+
+fn main() {
+    let chip_counts = [16usize, 32, 64];
+
+    // --- vs PRIME on VGG-D ---------------------------------------------------
+    let mut table = Table::new(
+        "Fig. 8(b) - normalized throughput of TIMELY over PRIME on VGG-D (paper: 736.6x; crossbars per chip 20352 vs 1024)",
+        &["chips", "TIMELY (inf/s)", "PRIME (inf/s)", "improvement"],
+    );
+    for &chips in &chip_counts {
+        let timely = timely_with_chips(chips, false);
+        let prime = PrimeModel::new(PrimeConfig::paper_default().with_chips(chips));
+        let model = zoo::vgg_d();
+        let t = Accelerator::evaluate(&timely, &model).expect("TIMELY evaluates VGG-D");
+        let p = prime.evaluate(&model).expect("PRIME evaluates VGG-D");
+        table.row(&[
+            chips.to_string(),
+            format!("{:.0}", t.inferences_per_second),
+            format!("{:.1}", p.inferences_per_second),
+            format!("{:.0}x", t.inferences_per_second / p.inferences_per_second),
+        ]);
+    }
+    table.print();
+
+    // --- vs ISAAC on its benchmark suite -------------------------------------
+    for &chips in &chip_counts {
+        let timely = timely_with_chips(chips, true);
+        let isaac = IsaacModel::new(IsaacConfig::paper_default().with_chips(chips));
+        let mut table = Table::new(
+            format!(
+                "Fig. 8(b) - normalized throughput of TIMELY over ISAAC, {chips}-chip configuration (paper geometric means 2.1x/2.4x/2.7x)"
+            ),
+            &["model", "TIMELY (inf/s)", "ISAAC (inf/s)", "improvement"],
+        );
+        let mut ratios = Vec::new();
+        for model in zoo::isaac_benchmarks() {
+            let t = match Accelerator::evaluate(&timely, &model) {
+                Ok(report) => report,
+                Err(_) => continue, // model does not fit on this chip count
+            };
+            let i = match isaac.evaluate(&model) {
+                Ok(report) => report,
+                Err(_) => continue,
+            };
+            let ratio = t.inferences_per_second / i.inferences_per_second;
+            ratios.push(ratio);
+            table.row(&[
+                model.name().to_string(),
+                format!("{:.0}", t.inferences_per_second),
+                format!("{:.0}", i.inferences_per_second),
+                format!("{ratio:.1}x"),
+            ]);
+        }
+        table.row(&[
+            "Geometric mean".to_string(),
+            String::new(),
+            String::new(),
+            format!("{:.1}x", geometric_mean(&ratios)),
+        ]);
+        table.print();
+    }
+}

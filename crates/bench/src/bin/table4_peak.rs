@@ -1,0 +1,69 @@
+//! Table IV / Fig. 1(c): peak energy efficiency (TOPs/W) and computational
+//! density (TOPs/(s·mm²)) of TIMELY against PRIME, ISAAC, PipeLayer, and
+//! AtomLayer, with the improvement factors.
+
+use timely_baselines::{Accelerator, AtomLayerModel, IsaacModel, PipeLayerModel, PrimeModel};
+use timely_bench::table::Table;
+use timely_core::{TimelyAccelerator, TimelyConfig};
+
+fn main() {
+    let timely8 = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let timely16 = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+    let peak8 = timely8.peak();
+    let peak16 = timely16.peak();
+
+    let baselines: Vec<(Box<dyn Accelerator>, f64, f64)> = vec![
+        // (model, paper efficiency improvement, paper density improvement)
+        (Box::new(PrimeModel::default()), 10.0, 31.2),
+        (Box::new(IsaacModel::default()), 18.2, 20.0),
+        (Box::new(PipeLayerModel::new()), 49.3, 6.4),
+        (Box::new(AtomLayerModel::new()), 10.1, 20.0),
+    ];
+
+    let mut table = Table::new(
+        "Table IV - peak performance comparison",
+        &[
+            "accelerator",
+            "op precision",
+            "TOPs/W",
+            "TOPs/(s*mm^2)",
+            "TIMELY efficiency gain (paper)",
+            "TIMELY density gain (paper)",
+        ],
+    );
+    for (baseline, paper_eff, paper_density) in &baselines {
+        let peak = baseline.peak();
+        let timely_peak = if peak.op_bits == 8 { &peak8 } else { &peak16 };
+        table.row(&[
+            baseline.name().to_string(),
+            format!("{}-bit MAC", peak.op_bits),
+            format!("{:.2}", peak.tops_per_watt),
+            format!("{:.2}", peak.tops_per_mm2),
+            format!(
+                "{:.1}x ({paper_eff}x)",
+                timely_peak.tops_per_watt / peak.tops_per_watt
+            ),
+            format!(
+                "{:.1}x ({paper_density}x)",
+                timely_peak.tops_per_mm2 / peak.tops_per_mm2
+            ),
+        ]);
+    }
+    table.row(&[
+        "TIMELY (8-bit)".to_string(),
+        "8-bit MAC".to_string(),
+        format!("{:.2}", peak8.tops_per_watt),
+        format!("{:.2}", peak8.tops_per_mm2),
+        "(paper: 21.00)".to_string(),
+        "(paper: 38.33)".to_string(),
+    ]);
+    table.row(&[
+        "TIMELY (16-bit)".to_string(),
+        "16-bit MAC".to_string(),
+        format!("{:.2}", peak16.tops_per_watt),
+        format!("{:.2}", peak16.tops_per_mm2),
+        "(paper: 6.90)".to_string(),
+        "(paper: 9.58)".to_string(),
+    ]);
+    table.print();
+}

@@ -1,0 +1,9 @@
+//! Shared helpers for the benchmark harness binaries and Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the TIMELY
+//! paper's evaluation (see `DESIGN.md` for the experiment index). This
+//! library holds the table-formatting helpers they share.
+
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,140 @@
+//! Area accounting (Table II totals and Fig. 10 breakdown).
+//!
+//! The sub-chip area is the sum over component instances of the per-instance
+//! areas from the component library. Following the paper, I-adders and their
+//! interconnect do **not** contribute to area (they are placed under the
+//! charging capacitors and crossbars on different metal layers, §VI-A), and
+//! the CMOS logic introduced by O2IR is negligible.
+
+use crate::config::TimelyConfig;
+use crate::subchip::SubChipGeometry;
+use serde::{Deserialize, Serialize};
+use timely_analog::Area;
+
+/// Per-component area breakdown of one TIMELY chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Total DTC area.
+    pub dtc: Area,
+    /// Total TDC area.
+    pub tdc: Area,
+    /// Total ReRAM crossbar area.
+    pub reram: Area,
+    /// Total charging-unit + comparator area.
+    pub charging: Area,
+    /// Total X-subBuf area.
+    pub x_subbuf: Area,
+    /// Total P-subBuf area.
+    pub p_subbuf: Area,
+    /// ReLU, max-pool, shift-and-add and similar digital support logic.
+    pub digital: Area,
+    /// Input/output buffer area.
+    pub buffers: Area,
+}
+
+impl AreaBreakdown {
+    /// Computes the breakdown for one chip of the given configuration.
+    pub fn for_chip(config: &TimelyConfig) -> Self {
+        let geo = SubChipGeometry::from_config(config);
+        let c = &config.components;
+        let n = config.subchips_per_chip as f64;
+        Self {
+            dtc: c.dtc.area * (geo.dtcs as f64 * n),
+            tdc: c.tdc.area * (geo.tdcs as f64 * n),
+            reram: c.reram_crossbar.area * (geo.crossbars as f64 * n),
+            charging: c.charging_comparator.area * (geo.charging_units as f64 * n),
+            x_subbuf: c.x_subbuf.area * (geo.x_subbufs as f64 * n),
+            p_subbuf: c.p_subbuf.area * (geo.p_subbufs as f64 * n),
+            digital: (c.relu.area * geo.relu_units as f64
+                + c.maxpool.area * geo.maxpool_units as f64)
+                * n,
+            buffers: (c.input_buffer_access.area + c.output_buffer_access.area) * n,
+        }
+    }
+
+    /// The total chip area.
+    pub fn total(&self) -> Area {
+        self.dtc
+            + self.tdc
+            + self.reram
+            + self.charging
+            + self.x_subbuf
+            + self.p_subbuf
+            + self.digital
+            + self.buffers
+    }
+
+    /// The fraction of the chip area occupied by ReRAM crossbars
+    /// (Fig. 10(a): ≈2.2 % for TIMELY vs. 0.4 % for ISAAC).
+    pub fn reram_fraction(&self) -> f64 {
+        self.reram / self.total()
+    }
+
+    /// Per-component fractions in Fig. 10(b)'s order:
+    /// `(DTC, TDC, ReRAM, charging+comparator, X-subBuf, P-subBuf)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64, f64) {
+        let total = self.total();
+        (
+            self.dtc / total,
+            self.tdc / total,
+            self.reram / total,
+            self.charging / total,
+            self.x_subbuf / total,
+            self.p_subbuf / total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_chip_area_is_about_0_86_mm2() {
+        // Table II: one sub-chip totals 0.86 mm^2.
+        let mut builder = TimelyConfig::builder();
+        let single = builder.subchips_per_chip(1).build().unwrap();
+        let area = AreaBreakdown::for_chip(&single).total();
+        let mm2 = area.as_square_millimeters();
+        assert!((mm2 - 0.86).abs() < 0.03, "sub-chip area {mm2} mm^2");
+    }
+
+    #[test]
+    fn chip_area_is_about_91_mm2() {
+        // Table II: 106 sub-chips total 91 mm^2.
+        let cfg = TimelyConfig::paper_default();
+        let mm2 = AreaBreakdown::for_chip(&cfg).total().as_square_millimeters();
+        assert!((mm2 - 91.0).abs() < 3.0, "chip area {mm2} mm^2");
+    }
+
+    #[test]
+    fn fig_10b_breakdown_percentages() {
+        let cfg = TimelyConfig::paper_default();
+        let (dtc, tdc, reram, charging, x, p) = AreaBreakdown::for_chip(&cfg).fractions();
+        // Paper: DTC 14.2%, TDC 13.8%, ReRAM 2.2%, charging+comp 14.2%,
+        // X-subBuf 28.5%, P-subBuf 26.7%.
+        assert!((dtc - 0.142).abs() < 0.01, "DTC fraction {dtc}");
+        assert!((tdc - 0.138).abs() < 0.01, "TDC fraction {tdc}");
+        assert!((reram - 0.022).abs() < 0.005, "ReRAM fraction {reram}");
+        assert!((charging - 0.142).abs() < 0.01, "charging fraction {charging}");
+        assert!((x - 0.285).abs() < 0.015, "X-subBuf fraction {x}");
+        assert!((p - 0.267).abs() < 0.015, "P-subBuf fraction {p}");
+    }
+
+    #[test]
+    fn reram_fraction_matches_fig_10a() {
+        let cfg = TimelyConfig::paper_default();
+        let frac = AreaBreakdown::for_chip(&cfg).reram_fraction();
+        assert!((frac - 0.022).abs() < 0.005, "ReRAM share {frac}");
+    }
+
+    #[test]
+    fn area_scales_linearly_with_sub_chip_count() {
+        let mut builder = TimelyConfig::builder();
+        let half = builder.subchips_per_chip(53).build().unwrap();
+        let full = TimelyConfig::paper_default();
+        let half_area = AreaBreakdown::for_chip(&half).total().as_square_millimeters();
+        let full_area = AreaBreakdown::for_chip(&full).total().as_square_millimeters();
+        assert!((full_area / half_area - 2.0).abs() < 1e-9);
+    }
+}

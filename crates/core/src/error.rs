@@ -1,0 +1,74 @@
+//! Error types for the architecture simulator.
+
+use std::fmt;
+
+/// Error produced when evaluating a model on the TIMELY architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// The model cannot be analyzed (propagated from `timely-nn`).
+    Workload(String),
+    /// The model's weights do not fit on the configured chip(s), even without
+    /// duplication.
+    ModelTooLarge {
+        /// Crossbars required to hold the weights once.
+        required_crossbars: u64,
+        /// Crossbars available across all configured chips.
+        available_crossbars: u64,
+    },
+    /// A configuration parameter is invalid (zero-sized crossbars, a DTC
+    /// sharing factor that does not divide the crossbar size, …).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::Workload(msg) => write!(f, "workload analysis failed: {msg}"),
+            ArchError::ModelTooLarge {
+                required_crossbars,
+                available_crossbars,
+            } => write!(
+                f,
+                "model requires {required_crossbars} crossbars but only {available_crossbars} are available"
+            ),
+            ArchError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<timely_nn::NnError> for ArchError {
+    fn from(err: timely_nn::NnError) -> Self {
+        ArchError::Workload(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ArchError::ModelTooLarge {
+            required_crossbars: 100,
+            available_crossbars: 10,
+        };
+        assert!(err.to_string().contains("100"));
+        assert!(ArchError::InvalidConfig {
+            reason: "gamma must divide B".into()
+        }
+        .to_string()
+        .contains("gamma"));
+    }
+
+    #[test]
+    fn nn_errors_convert() {
+        let nn_err = timely_nn::NnError::EmptyModel;
+        let arch: ArchError = nn_err.into();
+        assert!(matches!(arch, ArchError::Workload(_)));
+    }
+}

@@ -1,0 +1,354 @@
+//! Pipelining, latency, throughput, and peak performance.
+//!
+//! TIMELY pipelines at two levels (§IV-E):
+//!
+//! * **intra-sub-chip** — reading inputs, DTC conversion, analog computation,
+//!   TDC conversion and output write-back form a five-stage pipeline whose
+//!   cycle time is set by the slowest stage: the γ = 8 DTC/TDC conversions of
+//!   25 ns each, i.e. a 200 ns pipeline cycle;
+//! * **inter-sub-chip** — consecutive layers run on different sub-chips in a
+//!   layer pipeline, so steady-state throughput is limited by the slowest
+//!   layer.
+//!
+//! Peak performance (Table IV) assumes every crossbar computes every cycle;
+//! benchmark throughput (Fig. 8(b)) additionally models weight duplication,
+//! which replicates a layer's weights so several output positions are
+//! computed per cycle, bounded by the chip's crossbar budget.
+
+use crate::config::TimelyConfig;
+use crate::energy::EnergyBreakdown;
+use crate::error::ArchError;
+use crate::mapping::ModelMapping;
+use crate::subchip::SubChipGeometry;
+use serde::{Deserialize, Serialize};
+use timely_analog::{Energy, Time};
+use timely_nn::workload::ModelWorkload;
+use timely_nn::Model;
+
+/// The intra-sub-chip pipeline cycle time: γ DTC/TDC conversions back to back.
+pub fn pipeline_cycle(config: &TimelyConfig) -> Time {
+    config.components.dtc.latency * config.gamma as f64
+}
+
+/// Peak (workload-independent) performance of one chip — the quantities of
+/// Table IV and Fig. 1(c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakPerformance {
+    /// Peak operations per second of one chip (one operation = one MAC at the
+    /// configured precision).
+    pub ops_per_second: f64,
+    /// Peak energy efficiency in TOPs/W.
+    pub tops_per_watt: f64,
+    /// Computational density in TOPs/(s·mm²).
+    pub tops_per_mm2: f64,
+    /// The precision of one counted operation, in bits.
+    pub op_bits: u8,
+}
+
+impl PeakPerformance {
+    /// Computes peak performance for a configuration.
+    pub fn for_config(config: &TimelyConfig) -> Self {
+        let geometry = SubChipGeometry::from_config(config);
+        let cycle = pipeline_cycle(config);
+        let macs_per_cycle =
+            geometry.peak_macs_per_cycle(config) as f64 * config.subchips_per_chip as f64;
+        let ops_per_second = macs_per_cycle / cycle.as_seconds();
+
+        let energy_per_cycle = Self::chip_energy_per_cycle(config, &geometry);
+        let tops_per_watt = macs_per_cycle / energy_per_cycle.as_picojoules();
+
+        let area_mm2 = crate::area::AreaBreakdown::for_chip(config)
+            .total()
+            .as_square_millimeters();
+        let tops_per_mm2 = ops_per_second / 1e12 / area_mm2;
+        Self {
+            ops_per_second,
+            tops_per_watt,
+            tops_per_mm2,
+            op_bits: config.weight_bits,
+        }
+    }
+
+    /// The energy one chip dissipates in one pipeline cycle at full activity.
+    fn chip_energy_per_cycle(config: &TimelyConfig, geo: &SubChipGeometry) -> Energy {
+        let c = &config.components;
+        let per_subchip = c.dtc.energy_per_op * (geo.dtcs * config.gamma) as f64
+            + c.tdc.energy_per_op * (geo.tdcs * config.gamma) as f64
+            + c.x_subbuf.energy_per_op * geo.x_subbufs as f64
+            + c.p_subbuf.energy_per_op * geo.p_subbufs as f64
+            + c.reram_crossbar.energy_per_op * (geo.crossbars * config.crossbar_size) as f64
+            + c.i_adder.energy_per_op * geo.i_adders as f64
+            + c.charging_comparator.energy_per_op * geo.charging_units as f64
+            + c.input_buffer_access.energy_per_op * geo.input_rows as f64
+            + c.output_buffer_access.energy_per_op * geo.output_columns as f64;
+        per_subchip * config.subchips_per_chip as f64
+    }
+}
+
+/// Per-layer allocation and cycle count of the inter-sub-chip layer pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSchedule {
+    /// Layer name.
+    pub name: String,
+    /// Crossbars needed to hold the layer's weights once.
+    pub crossbars: u64,
+    /// Weight-duplication factor allocated to the layer.
+    pub duplication: u64,
+    /// Pipeline cycles the layer needs per inference.
+    pub cycles: u64,
+}
+
+/// Latency and throughput of a model on the configured accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Per-layer schedule in execution order.
+    pub layers: Vec<LayerSchedule>,
+    /// The pipeline cycle time.
+    pub cycle_time: Time,
+    /// Steady-state throughput in inferences per second (inter-layer
+    /// pipelined: limited by the slowest layer).
+    pub inferences_per_second: f64,
+    /// End-to-end latency of a single inference (layers executed back to
+    /// back, no overlap with other inferences).
+    pub single_inference_latency: Time,
+    /// Total crossbars available across all configured chips.
+    pub available_crossbars: u64,
+    /// Crossbars used after duplication.
+    pub used_crossbars: u64,
+}
+
+impl ThroughputReport {
+    /// Builds the layer pipeline schedule for a model.
+    ///
+    /// Weight duplication is allocated with a balanced heuristic: each layer
+    /// receives a duplication factor proportional to the number of output
+    /// positions it must produce, subject to the chip's total crossbar budget
+    /// — the same balancing idea ISAAC's inter-layer pipeline uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::ModelTooLarge`] if the weights do not fit even
+    /// without duplication, or propagates analysis errors.
+    pub fn for_model(model: &Model, config: &TimelyConfig) -> Result<Self, ArchError> {
+        config.validate()?;
+        let workload = ModelWorkload::try_analyze(model)?;
+        Self::for_workload(&workload, config)
+    }
+
+    /// Builds the schedule from an already-analyzed workload.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThroughputReport::for_model`].
+    pub fn for_workload(
+        workload: &ModelWorkload,
+        config: &TimelyConfig,
+    ) -> Result<Self, ArchError> {
+        let b = config.crossbar_size;
+        let cells_per_weight = config.cells_per_weight();
+        let available = SubChipGeometry::crossbars_per_chip(config) * config.chips as u64;
+
+        // Crossbars and output positions per layer.
+        let mut crossbars = Vec::new();
+        let mut positions = Vec::new();
+        for layer in &workload.layers {
+            crossbars.push(layer.crossbars_required(b, cells_per_weight));
+            let pos = if layer.is_conv {
+                (layer.output.height * layer.output.width) as u64
+            } else {
+                1
+            };
+            positions.push(pos * config.input_slices() as u64);
+        }
+        let required: u64 = crossbars.iter().sum();
+        if required > available {
+            return Err(ArchError::ModelTooLarge {
+                required_crossbars: required,
+                available_crossbars: available,
+            });
+        }
+
+        // Balanced duplication: d_l proportional to positions_l, scaled so the
+        // duplicated mapping fits in the crossbar budget.
+        let weighted: f64 = crossbars
+            .iter()
+            .zip(&positions)
+            .map(|(&x, &p)| x as f64 * p as f64)
+            .sum();
+        let scale = if weighted > 0.0 {
+            (available as f64 / weighted).max(0.0)
+        } else {
+            1.0
+        };
+        let mut layers = Vec::with_capacity(crossbars.len());
+        let mut used = 0u64;
+        let mut max_cycles = 1u64;
+        let mut total_cycles = 0u64;
+        for ((layer, &xbars), &pos) in workload.layers.iter().zip(&crossbars).zip(&positions) {
+            let duplication = ((scale * pos as f64).floor() as u64).clamp(1, pos.max(1));
+            let cycles = pos.div_ceil(duplication).max(1);
+            used += xbars * duplication;
+            max_cycles = max_cycles.max(cycles);
+            total_cycles += cycles;
+            layers.push(LayerSchedule {
+                name: layer.name.clone(),
+                crossbars: xbars,
+                duplication,
+                cycles,
+            });
+        }
+        let cycle_time = pipeline_cycle(config);
+        // Inter-layer pipelining: in steady state a new inference completes
+        // every `max_cycles` pipeline cycles. The intra-sub-chip pipeline adds
+        // a constant 4-cycle fill per layer to the single-inference latency.
+        let inferences_per_second = 1.0 / (max_cycles as f64 * cycle_time.as_seconds());
+        let single_inference_latency =
+            cycle_time * (total_cycles as f64 + 4.0 * layers.len() as f64);
+        Ok(Self {
+            layers,
+            cycle_time,
+            inferences_per_second,
+            single_inference_latency,
+            available_crossbars: available,
+            used_crossbars: used.min(available),
+        })
+    }
+
+    /// The number of pipeline cycles of the slowest (throughput-limiting)
+    /// layer.
+    pub fn bottleneck_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).max().unwrap_or(1)
+    }
+}
+
+/// Convenience: energy efficiency of a model evaluation in TOPs/W given its
+/// energy breakdown and MAC count.
+pub fn tops_per_watt(energy: &EnergyBreakdown, macs: u64) -> f64 {
+    if energy.total().is_zero() {
+        0.0
+    } else {
+        macs as f64 / energy.total().as_picojoules()
+    }
+}
+
+/// Convenience: the energy efficiency implied by a full model mapping.
+pub fn model_tops_per_watt(mapping: &ModelMapping, config: &TimelyConfig) -> f64 {
+    let energy = EnergyBreakdown::for_mapping(mapping, config);
+    tops_per_watt(&energy, mapping.total_macs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timely_nn::zoo;
+
+    #[test]
+    fn pipeline_cycle_is_200_ns_for_gamma_8() {
+        let cfg = TimelyConfig::paper_default();
+        assert!((pipeline_cycle(&cfg).as_nanoseconds() - 200.0).abs() < 1e-9);
+        let cfg4 = TimelyConfig::builder().gamma(4).build().unwrap();
+        assert!((pipeline_cycle(&cfg4).as_nanoseconds() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_iv_peak_energy_efficiency_8bit() {
+        // Table IV: TIMELY(8-bit) = 21 TOPs/W. Our component-level accounting
+        // lands in the same regime (within ~40%); EXPERIMENTS.md records the
+        // exact measured value.
+        let peak = PeakPerformance::for_config(&TimelyConfig::paper_default());
+        assert!(
+            (12.0..32.0).contains(&peak.tops_per_watt),
+            "8-bit peak efficiency {} TOPs/W",
+            peak.tops_per_watt
+        );
+        assert_eq!(peak.op_bits, 8);
+    }
+
+    #[test]
+    fn table_iv_computational_density_8bit() {
+        // Table IV: TIMELY(8-bit) = 38.33 TOPs/(s·mm²).
+        let peak = PeakPerformance::for_config(&TimelyConfig::paper_default());
+        assert!(
+            (30.0..45.0).contains(&peak.tops_per_mm2),
+            "8-bit density {} TOPs/s/mm2",
+            peak.tops_per_mm2
+        );
+    }
+
+    #[test]
+    fn table_iv_peak_numbers_16bit() {
+        // Table IV: TIMELY(16-bit) = 6.9 TOPs/W and 9.58 TOPs/(s·mm²).
+        let peak = PeakPerformance::for_config(&TimelyConfig::paper_16bit());
+        assert!(
+            (4.0..10.0).contains(&peak.tops_per_watt),
+            "16-bit peak efficiency {} TOPs/W",
+            peak.tops_per_watt
+        );
+        assert!(
+            (7.0..12.0).contains(&peak.tops_per_mm2),
+            "16-bit density {} TOPs/s/mm2",
+            peak.tops_per_mm2
+        );
+        assert_eq!(peak.op_bits, 16);
+    }
+
+    #[test]
+    fn peak_8bit_beats_16bit_by_about_4x() {
+        let p8 = PeakPerformance::for_config(&TimelyConfig::paper_default());
+        let p16 = PeakPerformance::for_config(&TimelyConfig::paper_16bit());
+        let ratio = p8.ops_per_second / p16.ops_per_second;
+        assert!((ratio - 4.0).abs() < 0.1, "ops ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_schedule_for_vgg_d() {
+        let cfg = TimelyConfig::paper_default();
+        let report = ThroughputReport::for_model(&zoo::vgg_d(), &cfg).unwrap();
+        assert_eq!(report.layers.len(), 16);
+        assert!(report.inferences_per_second > 10.0);
+        assert!(report.single_inference_latency.as_seconds() > 0.0);
+        assert!(report.used_crossbars <= report.available_crossbars);
+        assert!(report.bottleneck_cycles() >= 1);
+    }
+
+    #[test]
+    fn more_chips_increase_throughput() {
+        let one = ThroughputReport::for_model(
+            &zoo::vgg_d(),
+            &TimelyConfig::builder().chips(1).build().unwrap(),
+        )
+        .unwrap();
+        let sixteen = ThroughputReport::for_model(
+            &zoo::vgg_d(),
+            &TimelyConfig::builder().chips(16).build().unwrap(),
+        )
+        .unwrap();
+        assert!(sixteen.inferences_per_second >= one.inferences_per_second);
+    }
+
+    #[test]
+    fn oversized_models_are_rejected() {
+        // MSRA-3 at 16-bit precision does not fit on a single chip.
+        let cfg = TimelyConfig::paper_16bit();
+        let result = ThroughputReport::for_model(&zoo::msra_3(), &cfg);
+        match result {
+            Err(ArchError::ModelTooLarge { .. }) => {}
+            Ok(report) => {
+                // If it fits, the used crossbars must still respect the budget.
+                assert!(report.used_crossbars <= report.available_crossbars);
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn tops_per_watt_helpers_are_consistent() {
+        let cfg = TimelyConfig::paper_default();
+        let mapping = ModelMapping::analyze(&zoo::vgg_d(), &cfg).unwrap();
+        let direct = model_tops_per_watt(&mapping, &cfg);
+        let energy = EnergyBreakdown::for_mapping(&mapping, &cfg);
+        let via_energy = tops_per_watt(&energy, mapping.total_macs);
+        assert!((direct - via_energy).abs() < 1e-12);
+        assert!(direct > 0.0);
+    }
+}

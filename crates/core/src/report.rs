@@ -1,0 +1,169 @@
+//! The top-level accelerator API and evaluation reports.
+
+use crate::area::AreaBreakdown;
+use crate::config::TimelyConfig;
+use crate::energy::EnergyBreakdown;
+use crate::error::ArchError;
+use crate::mapping::ModelMapping;
+use crate::pipeline::{PeakPerformance, ThroughputReport};
+use serde::{Deserialize, Serialize};
+use timely_nn::Model;
+
+/// A TIMELY accelerator instance: a configuration plus the evaluation entry
+/// points.
+///
+/// # Example
+///
+/// ```
+/// use timely_core::{TimelyAccelerator, TimelyConfig};
+/// use timely_nn::zoo;
+///
+/// let accelerator = TimelyAccelerator::new(TimelyConfig::paper_default());
+/// let report = accelerator.evaluate(&zoo::mlp_l())?;
+/// assert!(report.energy_efficiency_tops_per_watt() > 0.0);
+/// # Ok::<(), timely_core::ArchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelyAccelerator {
+    config: TimelyConfig,
+}
+
+impl TimelyAccelerator {
+    /// Creates an accelerator with the given configuration.
+    pub fn new(config: TimelyConfig) -> Self {
+        Self { config }
+    }
+
+    /// The accelerator's configuration.
+    pub fn config(&self) -> &TimelyConfig {
+        &self.config
+    }
+
+    /// The chip's area breakdown.
+    pub fn area(&self) -> AreaBreakdown {
+        AreaBreakdown::for_chip(&self.config)
+    }
+
+    /// The chip's peak (workload-independent) performance — Table IV.
+    pub fn peak(&self) -> PeakPerformance {
+        PeakPerformance::for_config(&self.config)
+    }
+
+    /// Evaluates a model: maps it, counts events, and produces the energy,
+    /// latency, and throughput report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and scheduling errors (invalid configuration,
+    /// model too large for the configured chips).
+    pub fn evaluate(&self, model: &Model) -> Result<EvalReport, ArchError> {
+        let mapping = ModelMapping::analyze(model, &self.config)?;
+        let energy = EnergyBreakdown::for_mapping(&mapping, &self.config);
+        let throughput = ThroughputReport::for_model(model, &self.config)?;
+        Ok(EvalReport {
+            model_name: model.name().to_string(),
+            total_macs: mapping.total_macs,
+            energy,
+            throughput,
+            mapping,
+            area: self.area(),
+        })
+    }
+}
+
+impl Default for TimelyAccelerator {
+    fn default() -> Self {
+        Self::new(TimelyConfig::paper_default())
+    }
+}
+
+/// The result of evaluating one model on one accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// The evaluated model's name.
+    pub model_name: String,
+    /// MAC operations per inference.
+    pub total_macs: u64,
+    /// Energy breakdown of one inference.
+    pub energy: EnergyBreakdown,
+    /// Latency/throughput report.
+    pub throughput: ThroughputReport,
+    /// The event-count mapping that produced the energy numbers.
+    pub mapping: ModelMapping,
+    /// The chip area breakdown.
+    pub area: AreaBreakdown,
+}
+
+impl EvalReport {
+    /// Workload energy efficiency in TOPs/W (operations = MACs at the
+    /// configured precision).
+    pub fn energy_efficiency_tops_per_watt(&self) -> f64 {
+        crate::pipeline::tops_per_watt(&self.energy, self.total_macs)
+    }
+
+    /// Steady-state throughput in inferences per second.
+    pub fn throughput_inferences_per_second(&self) -> f64 {
+        self.throughput.inferences_per_second
+    }
+
+    /// Energy of one inference in millijoules.
+    pub fn energy_millijoules(&self) -> f64 {
+        self.energy.total().as_millijoules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Features;
+    use timely_nn::zoo;
+
+    #[test]
+    fn evaluate_produces_consistent_report() {
+        let accel = TimelyAccelerator::default();
+        let report = accel.evaluate(&zoo::vgg_d()).unwrap();
+        assert_eq!(report.model_name, "VGG-D");
+        assert_eq!(report.total_macs, report.mapping.total_macs);
+        assert!(report.energy_millijoules() > 0.0);
+        assert!(report.throughput_inferences_per_second() > 0.0);
+        assert!(report.energy_efficiency_tops_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn workload_efficiency_does_not_exceed_peak() {
+        let accel = TimelyAccelerator::default();
+        let peak = accel.peak().tops_per_watt;
+        for model in [zoo::vgg_d(), zoo::vgg_1(), zoo::resnet_18()] {
+            let report = accel.evaluate(&model).unwrap();
+            assert!(
+                report.energy_efficiency_tops_per_watt() <= peak * 1.05,
+                "{}: workload efficiency {} exceeds peak {}",
+                model.name(),
+                report.energy_efficiency_tops_per_watt(),
+                peak
+            );
+        }
+    }
+
+    #[test]
+    fn ablated_accelerator_is_less_efficient() {
+        let timely = TimelyAccelerator::default();
+        let mut cfg = TimelyConfig::paper_default();
+        cfg.features = Features::none();
+        let ablated = TimelyAccelerator::new(cfg);
+        let model = zoo::vgg_1();
+        let full = timely.evaluate(&model).unwrap();
+        let stripped = ablated.evaluate(&model).unwrap();
+        assert!(
+            full.energy_efficiency_tops_per_watt() > stripped.energy_efficiency_tops_per_watt()
+        );
+    }
+
+    #[test]
+    fn default_accelerator_uses_paper_config() {
+        let accel = TimelyAccelerator::default();
+        assert_eq!(accel.config(), &TimelyConfig::paper_default());
+        let area = accel.area().total().as_square_millimeters();
+        assert!((area - 91.0).abs() < 3.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sub-chip geometry: component instance counts and capacities.
+//!
+//! A TIMELY sub-chip (Fig. 6(a)) is a grid of `subchip_rows × subchip_cols`
+//! ReRAM crossbars (16 × 12 in the paper) with DTCs and the input buffer on
+//! the left, TDCs and the output buffer at the bottom, X-subBufs between
+//! horizontally adjacent crossbars, P-subBufs between vertically adjacent
+//! crossbars and their I-adders, one charging-unit + comparator per output
+//! column, and a block of shift-and-add / ReLU / max-pool units. The counts
+//! derived here reproduce the instance counts of Table II exactly for the
+//! paper's configuration.
+
+use crate::config::TimelyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Derived per-sub-chip component instance counts and capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubChipGeometry {
+    /// Number of ReRAM crossbars (`rows × cols`, 192 in the paper).
+    pub crossbars: usize,
+    /// Number of DTC instances (`rows × B / γ`, 16×32 = 512).
+    pub dtcs: usize,
+    /// Number of TDC instances (`cols × B / γ`, 12×32 = 384).
+    pub tdcs: usize,
+    /// Number of X-subBufs (`cols × rows × B`, 12×16×256 = 49 152).
+    pub x_subbufs: usize,
+    /// Number of P-subBufs (`(rows−1) × cols × B`, 15×12×256 = 46 080).
+    pub p_subbufs: usize,
+    /// Number of I-adders (`cols × B`, 12×256 = 3 072).
+    pub i_adders: usize,
+    /// Number of charging-unit + comparator blocks (`cols × B`).
+    pub charging_units: usize,
+    /// Number of ReLU units (2 in the paper).
+    pub relu_units: usize,
+    /// Number of max-pool units (1 in the paper).
+    pub maxpool_units: usize,
+    /// Number of input rows a sub-chip accepts per pipeline cycle
+    /// (`rows × B`).
+    pub input_rows: usize,
+    /// Number of output columns a sub-chip produces per pipeline cycle
+    /// (`cols × B`).
+    pub output_columns: usize,
+    /// Weight capacity of the sub-chip in *weights* (not cells), after the
+    /// sub-ranging scheme reserves `cells_per_weight` adjacent cells per
+    /// weight.
+    pub weight_capacity: u64,
+}
+
+impl SubChipGeometry {
+    /// Derives the geometry from a configuration.
+    pub fn from_config(config: &TimelyConfig) -> Self {
+        let b = config.crossbar_size;
+        let rows = config.subchip_rows;
+        let cols = config.subchip_cols;
+        let crossbars = rows * cols;
+        let cells_per_weight = config.cells_per_weight();
+        Self {
+            crossbars,
+            dtcs: rows * b / config.gamma,
+            tdcs: cols * b / config.gamma,
+            x_subbufs: cols * rows * b,
+            p_subbufs: rows.saturating_sub(1) * cols * b,
+            i_adders: cols * b,
+            charging_units: cols * b,
+            relu_units: 2,
+            maxpool_units: 1,
+            input_rows: rows * b,
+            output_columns: cols * b,
+            weight_capacity: (crossbars * b * b / cells_per_weight) as u64,
+        }
+    }
+
+    /// Number of crossbars per chip for a given configuration.
+    pub fn crossbars_per_chip(config: &TimelyConfig) -> u64 {
+        (config.subchip_rows * config.subchip_cols * config.subchips_per_chip) as u64
+    }
+
+    /// Total weight capacity of all configured chips.
+    pub fn total_weight_capacity(config: &TimelyConfig) -> u64 {
+        Self::from_config(config).weight_capacity
+            * config.subchips_per_chip as u64
+            * config.chips as u64
+    }
+
+    /// Peak multiply-accumulate operations one sub-chip completes per pipeline
+    /// cycle at the configured precision: every input row drives every output
+    /// column, divided by the sub-ranging width and the number of input time
+    /// slices.
+    pub fn peak_macs_per_cycle(&self, config: &TimelyConfig) -> u64 {
+        let cell_macs = self.input_rows as u64 * self.output_columns as u64;
+        cell_macs / config.cells_per_weight() as u64 / config.input_slices() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_counts_match_table_ii() {
+        let cfg = TimelyConfig::paper_default();
+        let geo = SubChipGeometry::from_config(&cfg);
+        assert_eq!(geo.crossbars, 16 * 12);
+        assert_eq!(geo.dtcs, 16 * 32);
+        assert_eq!(geo.tdcs, 12 * 32);
+        assert_eq!(geo.x_subbufs, 12 * 16 * 256);
+        assert_eq!(geo.p_subbufs, 15 * 12 * 256);
+        assert_eq!(geo.i_adders, 12 * 256);
+        assert_eq!(geo.charging_units, 12 * 256);
+        assert_eq!(geo.relu_units, 2);
+        assert_eq!(geo.maxpool_units, 1);
+    }
+
+    #[test]
+    fn chip_crossbar_count_matches_fig_8b() {
+        // Fig. 8(b) annotates TIMELY with 20 352 crossbars in one chip
+        // (16 × 12 × 106).
+        let cfg = TimelyConfig::paper_default();
+        assert_eq!(SubChipGeometry::crossbars_per_chip(&cfg), 20_352);
+    }
+
+    #[test]
+    fn weight_capacity_accounts_for_subranging() {
+        let cfg8 = TimelyConfig::paper_default();
+        let cfg16 = TimelyConfig::paper_16bit();
+        let geo8 = SubChipGeometry::from_config(&cfg8);
+        let geo16 = SubChipGeometry::from_config(&cfg16);
+        assert_eq!(geo8.weight_capacity, 192 * 256 * 256 / 2);
+        assert_eq!(geo16.weight_capacity, 192 * 256 * 256 / 4);
+        assert!(SubChipGeometry::total_weight_capacity(&cfg8) > geo8.weight_capacity);
+    }
+
+    #[test]
+    fn peak_macs_per_cycle_scale_with_precision() {
+        let cfg8 = TimelyConfig::paper_default();
+        let geo = SubChipGeometry::from_config(&cfg8);
+        // 4096 input rows x 3072 output columns / 2 cells per weight.
+        assert_eq!(geo.peak_macs_per_cycle(&cfg8), 4096 * 3072 / 2);
+        let cfg16 = TimelyConfig::paper_16bit();
+        let geo16 = SubChipGeometry::from_config(&cfg16);
+        assert_eq!(geo16.peak_macs_per_cycle(&cfg16), 4096 * 3072 / 4 / 2);
+    }
+
+    #[test]
+    fn gamma_only_affects_converter_counts() {
+        let mut builder = TimelyConfig::builder();
+        let cfg_gamma4 = builder.gamma(4).build().unwrap();
+        let geo4 = SubChipGeometry::from_config(&cfg_gamma4);
+        let geo8 = SubChipGeometry::from_config(&TimelyConfig::paper_default());
+        assert_eq!(geo4.dtcs, 2 * geo8.dtcs);
+        assert_eq!(geo4.tdcs, 2 * geo8.tdcs);
+        assert_eq!(geo4.crossbars, geo8.crossbars);
+        assert_eq!(geo4.x_subbufs, geo8.x_subbufs);
+    }
+}

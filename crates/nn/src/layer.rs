@@ -1,0 +1,673 @@
+//! Layer-level intermediate representation.
+//!
+//! The paper's evaluation is driven entirely by layer shapes: convolutional
+//! layers (`CONV`), fully-connected layers (`FC`), pooling, and element-wise
+//! activation. Each layer can compute its output feature-map shape, its
+//! parameter count, and its multiply-accumulate (MAC) count, which are the
+//! quantities the architecture models consume.
+
+use crate::error::NnError;
+use crate::shape::FeatureMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Specification of a 2-D convolutional layer.
+///
+/// Field names follow the paper's Table I: `C`/`D` input/output channels,
+/// `Z`/`G` filter height/width, `S` stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Number of input channels `C`.
+    pub in_channels: usize,
+    /// Number of output channels `D`.
+    pub out_channels: usize,
+    /// Filter height `Z`.
+    pub kernel_h: usize,
+    /// Filter width `G`.
+    pub kernel_w: usize,
+    /// Stride `S` (applied to both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding applied to both spatial dimensions.
+    pub padding: usize,
+    /// Number of groups (1 for a dense convolution; `in_channels` for a
+    /// depthwise convolution). Grouped convolutions divide both the MAC count
+    /// and parameter count by the number of groups.
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// Creates a dense (ungrouped) convolution specification.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// Creates a convolution with a rectangular kernel.
+    pub fn with_kernel_hw(
+        in_channels: usize,
+        out_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// Number of weights (excluding biases) in the layer.
+    pub fn weights(&self) -> usize {
+        self.in_channels / self.groups * self.out_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Number of rows a single filter occupies when unrolled for a crossbar
+    /// mapping: `C/groups × Z × G`.
+    pub fn unrolled_filter_len(&self) -> usize {
+        self.in_channels / self.groups * self.kernel_h * self.kernel_w
+    }
+
+    /// The input-reuse factor of the layer: each input pixel is reused
+    /// `D·Z·G/S²` times (paper §II-A), restricted to its group.
+    pub fn input_reuse_factor(&self) -> f64 {
+        (self.out_channels / self.groups * self.kernel_h * self.kernel_w) as f64
+            / (self.stride * self.stride) as f64
+    }
+}
+
+/// Specification of a fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FcSpec {
+    /// Number of input features.
+    pub in_features: usize,
+    /// Number of output features.
+    pub out_features: usize,
+}
+
+impl FcSpec {
+    /// Creates a fully-connected layer specification.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        Self {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Number of weights (excluding biases) in the layer.
+    pub fn weights(&self) -> usize {
+        self.in_features * self.out_features
+    }
+}
+
+/// The reduction applied by a pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling (also used for global average pooling).
+    Average,
+}
+
+/// Specification of a spatial pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Pooling window size (square).
+    pub kernel: usize,
+    /// Pooling stride.
+    pub stride: usize,
+    /// Kind of reduction.
+    pub kind: PoolKind,
+}
+
+impl PoolSpec {
+    /// Creates a max-pooling specification.
+    pub fn max(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            kind: PoolKind::Max,
+        }
+    }
+
+    /// Creates an average-pooling specification.
+    pub fn average(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            kind: PoolKind::Average,
+        }
+    }
+}
+
+/// The kind of computation a layer performs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A 2-D convolution.
+    Conv(ConvSpec),
+    /// A fully-connected (matrix-vector) layer.
+    Fc(FcSpec),
+    /// A spatial pooling layer.
+    Pool(PoolSpec),
+    /// An element-wise rectified linear unit.
+    Relu,
+    /// Identity shortcut addition (ResNet residual connections). Modeled as an
+    /// element-wise addition over the current feature map; it carries no
+    /// weights and is executed by the digital post-processing units.
+    ElementwiseAdd,
+    /// A set of parallel convolutions that all read the same input feature
+    /// map and whose outputs are concatenated along the channel dimension
+    /// (e.g. the expand stage of a SqueezeNet fire module).
+    ///
+    /// All branches must produce the same spatial output size.
+    Branch(Vec<ConvSpec>),
+    /// A projection shortcut (ResNet's 1×1 strided convolution on the residual
+    /// path). In the sequential layer trace it appears *after* the block's
+    /// main path and *before* the element-wise addition; its output shape
+    /// equals the current feature map (the spec's `out_channels` must match),
+    /// while its MAC/weight counts are those of the projection convolution
+    /// applied to the block's input (recoverable from the spec's
+    /// `in_channels` and `stride`).
+    Shortcut(ConvSpec),
+}
+
+/// A named layer of a CNN/DNN model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable layer name (e.g. `"conv1_1"`).
+    pub name: String,
+    /// The computation performed by this layer.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a convolutional layer.
+    pub fn conv(name: impl Into<String>, spec: ConvSpec) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv(spec),
+        }
+    }
+
+    /// Creates a fully-connected layer.
+    pub fn fc(name: impl Into<String>, spec: FcSpec) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Fc(spec),
+        }
+    }
+
+    /// Creates a pooling layer.
+    pub fn pool(name: impl Into<String>, spec: PoolSpec) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Pool(spec),
+        }
+    }
+
+    /// Creates a ReLU activation layer.
+    pub fn relu(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Relu,
+        }
+    }
+
+    /// Creates an element-wise addition layer (residual shortcut).
+    pub fn elementwise_add(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::ElementwiseAdd,
+        }
+    }
+
+    /// Creates a branch layer: parallel convolutions over the same input whose
+    /// outputs are concatenated along the channel dimension.
+    pub fn branch(name: impl Into<String>, branches: Vec<ConvSpec>) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Branch(branches),
+        }
+    }
+
+    /// Creates a projection-shortcut layer (see [`LayerKind::Shortcut`]).
+    pub fn shortcut(name: impl Into<String>, spec: ConvSpec) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Shortcut(spec),
+        }
+    }
+
+    /// Whether this layer holds weights that must be programmed into ReRAM
+    /// crossbars (convolutions, branch convolutions, and fully-connected
+    /// layers).
+    pub fn is_weighted(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::Conv(_) | LayerKind::Fc(_) | LayerKind::Branch(_) | LayerKind::Shortcut(_)
+        )
+    }
+
+    /// Validates the layer parameters, returning a descriptive error for
+    /// degenerate configurations (zero-sized kernels, zero strides, zero
+    /// channel counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] when a parameter is degenerate.
+    pub fn validate(&self) -> Result<(), NnError> {
+        let invalid = |reason: &str| NnError::InvalidSpec {
+            layer: self.name.clone(),
+            reason: reason.to_string(),
+        };
+        match &self.kind {
+            LayerKind::Conv(c) => {
+                if c.in_channels == 0 || c.out_channels == 0 {
+                    return Err(invalid("channel counts must be nonzero"));
+                }
+                if c.kernel_h == 0 || c.kernel_w == 0 {
+                    return Err(invalid("kernel dimensions must be nonzero"));
+                }
+                if c.stride == 0 {
+                    return Err(invalid("stride must be nonzero"));
+                }
+                if c.groups == 0 {
+                    return Err(invalid("groups must be nonzero"));
+                }
+                if c.in_channels % c.groups != 0 || c.out_channels % c.groups != 0 {
+                    return Err(invalid("channel counts must be divisible by groups"));
+                }
+                Ok(())
+            }
+            LayerKind::Fc(fc) => {
+                if fc.in_features == 0 || fc.out_features == 0 {
+                    return Err(invalid("feature counts must be nonzero"));
+                }
+                Ok(())
+            }
+            LayerKind::Pool(p) => {
+                if p.kernel == 0 || p.stride == 0 {
+                    return Err(invalid("pooling kernel and stride must be nonzero"));
+                }
+                Ok(())
+            }
+            LayerKind::Relu | LayerKind::ElementwiseAdd => Ok(()),
+            LayerKind::Shortcut(spec) => {
+                Layer::conv(self.name.clone(), *spec).validate().map_err(|_| {
+                    invalid("projection shortcut has a degenerate convolution spec")
+                })
+            }
+            LayerKind::Branch(branches) => {
+                if branches.is_empty() {
+                    return Err(invalid("branch layer must contain at least one convolution"));
+                }
+                for (i, spec) in branches.iter().enumerate() {
+                    let sub = Layer::conv(format!("{}#{i}", self.name), *spec);
+                    sub.validate().map_err(|_| {
+                        invalid(&format!("branch {i} has a degenerate convolution spec"))
+                    })?;
+                    if spec.in_channels != branches[0].in_channels {
+                        return Err(invalid("all branches must share the same input channels"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Computes the output shape for the given input shape.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::ShapeMismatch`] if the input channel count does not match
+    ///   the layer's expectation.
+    /// * [`NnError::EmptyOutput`] if the kernel does not fit in the padded
+    ///   input.
+    pub fn output_shape(&self, input: FeatureMap) -> Result<FeatureMap, NnError> {
+        match &self.kind {
+            LayerKind::Conv(c) => {
+                if input.channels != c.in_channels {
+                    return Err(NnError::ShapeMismatch {
+                        layer: self.name.clone(),
+                        expected: input.as_tuple(),
+                        found: (c.in_channels, input.height, input.width),
+                    });
+                }
+                let out_h = FeatureMap::window_output(input.height, c.kernel_h, c.stride, c.padding);
+                let out_w = FeatureMap::window_output(input.width, c.kernel_w, c.stride, c.padding);
+                match (out_h, out_w) {
+                    (Some(h), Some(w)) => Ok(FeatureMap::new(c.out_channels, h, w)),
+                    _ => Err(NnError::EmptyOutput {
+                        layer: self.name.clone(),
+                    }),
+                }
+            }
+            LayerKind::Fc(fc) => {
+                if input.elements() != fc.in_features {
+                    return Err(NnError::ShapeMismatch {
+                        layer: self.name.clone(),
+                        expected: input.as_tuple(),
+                        found: (fc.in_features, 1, 1),
+                    });
+                }
+                Ok(FeatureMap::vector(fc.out_features))
+            }
+            LayerKind::Pool(p) => {
+                let out_h = FeatureMap::window_output(input.height, p.kernel, p.stride, 0);
+                let out_w = FeatureMap::window_output(input.width, p.kernel, p.stride, 0);
+                match (out_h, out_w) {
+                    (Some(h), Some(w)) => Ok(FeatureMap::new(input.channels, h, w)),
+                    _ => Err(NnError::EmptyOutput {
+                        layer: self.name.clone(),
+                    }),
+                }
+            }
+            LayerKind::Relu | LayerKind::ElementwiseAdd => Ok(input),
+            LayerKind::Shortcut(spec) => {
+                if spec.out_channels != input.channels {
+                    return Err(NnError::ShapeMismatch {
+                        layer: self.name.clone(),
+                        expected: input.as_tuple(),
+                        found: (spec.out_channels, input.height, input.width),
+                    });
+                }
+                Ok(input)
+            }
+            LayerKind::Branch(branches) => {
+                let mut out_channels = 0;
+                let mut spatial: Option<(usize, usize)> = None;
+                for (i, spec) in branches.iter().enumerate() {
+                    let sub = Layer::conv(format!("{}#{i}", self.name), *spec);
+                    let out = sub.output_shape(input)?;
+                    out_channels += out.channels;
+                    match spatial {
+                        None => spatial = Some((out.height, out.width)),
+                        Some(dims) if dims == (out.height, out.width) => {}
+                        Some(dims) => {
+                            return Err(NnError::ShapeMismatch {
+                                layer: self.name.clone(),
+                                expected: (out.channels, dims.0, dims.1),
+                                found: out.as_tuple(),
+                            })
+                        }
+                    }
+                }
+                let (h, w) = spatial.expect("validated branch layers are non-empty");
+                Ok(FeatureMap::new(out_channels, h, w))
+            }
+        }
+    }
+
+    /// Number of multiply-accumulate operations performed by this layer for a
+    /// single inference, given its input shape.
+    ///
+    /// Pooling, ReLU, and element-wise additions perform no MACs in the
+    /// paper's accounting (they are handled by dedicated digital units).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`Layer::output_shape`].
+    pub fn macs(&self, input: FeatureMap) -> Result<u64, NnError> {
+        let output = self.output_shape(input)?;
+        Ok(match &self.kind {
+            LayerKind::Conv(c) => {
+                let per_output = c.unrolled_filter_len() as u64;
+                per_output * output.elements() as u64
+            }
+            LayerKind::Fc(fc) => fc.weights() as u64,
+            LayerKind::Pool(_) | LayerKind::Relu | LayerKind::ElementwiseAdd => 0,
+            LayerKind::Shortcut(spec) => {
+                // The projection is applied to the block's input but produces
+                // the block's output spatial size, which equals the current
+                // feature map's spatial size.
+                spec.unrolled_filter_len() as u64
+                    * spec.out_channels as u64
+                    * (output.height * output.width) as u64
+            }
+            LayerKind::Branch(branches) => {
+                let mut total = 0u64;
+                for (i, spec) in branches.iter().enumerate() {
+                    let sub = Layer::conv(format!("{}#{i}", self.name), *spec);
+                    total += sub.macs(input)?;
+                }
+                total
+            }
+        })
+    }
+
+    /// Number of weights stored by this layer (zero for unweighted layers).
+    pub fn weights(&self) -> usize {
+        match &self.kind {
+            LayerKind::Conv(c) => c.weights(),
+            LayerKind::Fc(fc) => fc.weights(),
+            LayerKind::Branch(branches) => branches.iter().map(ConvSpec::weights).sum(),
+            LayerKind::Shortcut(spec) => spec.weights(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv(c) => write!(
+                f,
+                "{}: conv {}x{} s{} p{} {}→{}",
+                self.name,
+                c.kernel_h,
+                c.kernel_w,
+                c.stride,
+                c.padding,
+                c.in_channels,
+                c.out_channels
+            ),
+            LayerKind::Fc(fc) => {
+                write!(f, "{}: fc {}→{}", self.name, fc.in_features, fc.out_features)
+            }
+            LayerKind::Pool(p) => write!(
+                f,
+                "{}: {} pool {}x{} s{}",
+                self.name,
+                match p.kind {
+                    PoolKind::Max => "max",
+                    PoolKind::Average => "avg",
+                },
+                p.kernel,
+                p.kernel,
+                p.stride
+            ),
+            LayerKind::Relu => write!(f, "{}: relu", self.name),
+            LayerKind::ElementwiseAdd => write!(f, "{}: add", self.name),
+            LayerKind::Branch(branches) => {
+                let out: usize = branches.iter().map(|b| b.out_channels).sum();
+                write!(
+                    f,
+                    "{}: branch x{} {}→{}",
+                    self.name,
+                    branches.len(),
+                    branches.first().map(|b| b.in_channels).unwrap_or(0),
+                    out
+                )
+            }
+            LayerKind::Shortcut(c) => write!(
+                f,
+                "{}: shortcut 1x1 s{} {}→{}",
+                self.name, c.stride, c.in_channels, c.out_channels
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape_vgg_first_layer() {
+        let layer = Layer::conv("conv1_1", ConvSpec::new(3, 64, 3, 1, 1));
+        let out = layer.output_shape(FeatureMap::new(3, 224, 224)).unwrap();
+        assert_eq!(out, FeatureMap::new(64, 224, 224));
+    }
+
+    #[test]
+    fn conv_output_shape_resnet_stem() {
+        let layer = Layer::conv("conv1", ConvSpec::new(3, 64, 7, 2, 3));
+        let out = layer.output_shape(FeatureMap::new(3, 224, 224)).unwrap();
+        assert_eq!(out, FeatureMap::new(64, 112, 112));
+    }
+
+    #[test]
+    fn conv_macs_match_closed_form() {
+        // 3x3 conv, 64->128, on 56x56 input with padding 1 keeps spatial size.
+        let layer = Layer::conv("c", ConvSpec::new(64, 128, 3, 1, 1));
+        let macs = layer.macs(FeatureMap::new(64, 56, 56)).unwrap();
+        assert_eq!(macs, (64 * 3 * 3) as u64 * (128 * 56 * 56) as u64);
+    }
+
+    #[test]
+    fn fc_macs_equal_weight_count() {
+        let layer = Layer::fc("fc6", FcSpec::new(25088, 4096));
+        assert_eq!(
+            layer.macs(FeatureMap::new(512, 7, 7)).unwrap(),
+            25088 * 4096
+        );
+    }
+
+    #[test]
+    fn fc_rejects_wrong_input_size() {
+        let layer = Layer::fc("fc", FcSpec::new(100, 10));
+        assert!(matches!(
+            layer.macs(FeatureMap::new(3, 8, 8)),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_halves_spatial_dims() {
+        let layer = Layer::pool("pool1", PoolSpec::max(2, 2));
+        let out = layer.output_shape(FeatureMap::new(64, 224, 224)).unwrap();
+        assert_eq!(out, FeatureMap::new(64, 112, 112));
+        assert_eq!(layer.macs(FeatureMap::new(64, 224, 224)).unwrap(), 0);
+    }
+
+    #[test]
+    fn relu_and_add_preserve_shape() {
+        let input = FeatureMap::new(256, 14, 14);
+        assert_eq!(Layer::relu("r").output_shape(input).unwrap(), input);
+        assert_eq!(
+            Layer::elementwise_add("a").output_shape(input).unwrap(),
+            input
+        );
+    }
+
+    #[test]
+    fn conv_channel_mismatch_is_error() {
+        let layer = Layer::conv("c", ConvSpec::new(64, 128, 3, 1, 1));
+        assert!(matches!(
+            layer.output_shape(FeatureMap::new(32, 56, 56)),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_too_small_input_is_empty_output() {
+        let layer = Layer::conv("c", ConvSpec::new(3, 8, 7, 1, 0));
+        assert!(matches!(
+            layer.output_shape(FeatureMap::new(3, 4, 4)),
+            Err(NnError::EmptyOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let zero_stride = Layer::conv("c", ConvSpec::new(3, 8, 3, 0, 1));
+        assert!(zero_stride.validate().is_err());
+        let zero_kernel = Layer::pool("p", PoolSpec::max(0, 2));
+        assert!(zero_kernel.validate().is_err());
+        let zero_features = Layer::fc("f", FcSpec::new(0, 10));
+        assert!(zero_features.validate().is_err());
+        let bad_groups = Layer::conv(
+            "g",
+            ConvSpec {
+                groups: 3,
+                ..ConvSpec::new(4, 8, 3, 1, 1)
+            },
+        );
+        assert!(bad_groups.validate().is_err());
+    }
+
+    #[test]
+    fn input_reuse_factor_matches_paper_example() {
+        // Paper §II-A: D=2, Z=G=2, S=1 gives a reuse of 8.
+        let spec = ConvSpec::new(1, 2, 2, 1, 0);
+        assert_eq!(spec.input_reuse_factor(), 8.0);
+    }
+
+    #[test]
+    fn weights_counts() {
+        assert_eq!(ConvSpec::new(64, 128, 3, 1, 1).weights(), 64 * 128 * 9);
+        assert_eq!(FcSpec::new(4096, 1000).weights(), 4096 * 1000);
+        assert_eq!(Layer::relu("r").weights(), 0);
+    }
+
+    #[test]
+    fn branch_concatenates_channels_and_sums_macs() {
+        // SqueezeNet fire2 expand stage: 16 -> 64 (1x1) || 64 (3x3), on 55x55.
+        let layer = Layer::branch(
+            "fire2_expand",
+            vec![ConvSpec::new(16, 64, 1, 1, 0), ConvSpec::new(16, 64, 3, 1, 1)],
+        );
+        let input = FeatureMap::new(16, 55, 55);
+        let out = layer.output_shape(input).unwrap();
+        assert_eq!(out, FeatureMap::new(128, 55, 55));
+        let macs = layer.macs(input).unwrap();
+        let expected = (16 * 64 * 55 * 55) as u64 + (16 * 9 * 64 * 55 * 55) as u64;
+        assert_eq!(macs, expected);
+        assert_eq!(layer.weights(), 16 * 64 + 16 * 64 * 9);
+        assert!(layer.is_weighted());
+    }
+
+    #[test]
+    fn branch_with_mismatched_spatial_outputs_is_rejected() {
+        let layer = Layer::branch(
+            "bad",
+            vec![
+                ConvSpec::new(16, 8, 1, 1, 0),
+                ConvSpec::new(16, 8, 3, 1, 0), // no padding: shrinks spatially
+            ],
+        );
+        assert!(layer.output_shape(FeatureMap::new(16, 55, 55)).is_err());
+    }
+
+    #[test]
+    fn empty_branch_is_invalid() {
+        assert!(Layer::branch("b", vec![]).validate().is_err());
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let conv = Layer::conv("conv1", ConvSpec::new(3, 64, 3, 1, 1));
+        assert!(conv.to_string().contains("conv1"));
+        assert!(conv.to_string().contains("3→64"));
+        let pool = Layer::pool("p1", PoolSpec::average(7, 7));
+        assert!(pool.to_string().contains("avg"));
+    }
+}

@@ -1,0 +1,46 @@
+//! CNN/DNN model descriptions, workload analysis, and quantized functional
+//! inference for the TIMELY (ISCA 2020) reproduction.
+//!
+//! This crate is the *workload substrate* of the reproduction. It provides:
+//!
+//! * a layer-level intermediate representation for convolutional networks
+//!   ([`layer`], [`shape`], [`model`]),
+//! * the benchmark model zoo used throughout the paper's evaluation
+//!   ([`zoo`]): VGG-D, CNN-1, MLP-L, VGG-1..4, MSRA-1..3, ResNet-18/50/101/152
+//!   and SqueezeNet,
+//! * analytical workload statistics — MAC counts, input/partial-sum access
+//!   counts, and input-reuse factors — that drive the architecture-level
+//!   energy models ([`workload`]),
+//! * a small fixed-point functional inference engine with hooks for injecting
+//!   Gaussian analog-circuit noise, used by the accuracy study
+//!   ([`tensor`], [`quant`], [`infer`]).
+//!
+//! # Example
+//!
+//! ```
+//! use timely_nn::zoo;
+//! use timely_nn::workload::ModelWorkload;
+//!
+//! let vgg = zoo::vgg_d();
+//! let stats = ModelWorkload::analyze(&vgg);
+//! assert!(stats.total_macs() > 15_000_000_000); // VGG-16 has ~15.3 GMACs
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod infer;
+pub mod layer;
+pub mod model;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+pub mod workload;
+pub mod zoo;
+
+pub use error::NnError;
+pub use layer::{ConvSpec, FcSpec, Layer, LayerKind, PoolKind, PoolSpec};
+pub use model::{Model, ModelBuilder};
+pub use shape::FeatureMap;
+pub use workload::{LayerWorkload, ModelWorkload};

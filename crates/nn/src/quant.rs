@@ -1,0 +1,123 @@
+//! Symmetric linear quantization.
+//!
+//! TIMELY computes with 8-bit inputs and 8-bit weights (two 4-bit ReRAM cells
+//! per weight) when compared against PRIME, and with 16-bit operands when
+//! compared against ISAAC. The functional engine models this by quantizing
+//! activations and weights to a configurable signed bit width at every layer
+//! boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// Symmetric, zero-point-free linear quantization parameters for a signed
+/// integer representation of a given bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Number of bits of the signed representation (including the sign bit).
+    pub bits: u8,
+    /// Scale factor: `real ≈ scale × integer`.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Derives quantization parameters that cover `[-max_abs, max_abs]` with a
+    /// signed `bits`-bit representation.
+    ///
+    /// A `max_abs` of zero produces a unit scale so that quantizing an all-zero
+    /// tensor is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    pub fn from_max_abs(bits: u8, max_abs: f32) -> Self {
+        assert!(bits > 0 && bits < 32, "bits must be in 1..=31");
+        let qmax = Self::qmax_for(bits) as f32;
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        Self { bits, scale }
+    }
+
+    /// Largest representable positive integer for the bit width.
+    pub fn qmax(&self) -> i32 {
+        Self::qmax_for(self.bits)
+    }
+
+    fn qmax_for(bits: u8) -> i32 {
+        (1i32 << (bits - 1)) - 1
+    }
+
+    /// Quantizes a real value to the nearest representable integer, saturating
+    /// at the representation's bounds.
+    pub fn quantize(&self, value: f32) -> i32 {
+        let q = (value / self.scale).round() as i64;
+        let qmax = self.qmax() as i64;
+        q.clamp(-qmax, qmax) as i32
+    }
+
+    /// Reconstructs the real value of a quantized integer.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantize-then-dequantize: the value the accelerator actually computes
+    /// with.
+    pub fn fake_quantize(&self, value: f32) -> f32 {
+        self.dequantize(self.quantize(value))
+    }
+
+    /// The quantization step size (one least-significant bit in real units).
+    pub fn step(&self) -> f32 {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmax_matches_bit_width() {
+        assert_eq!(QuantParams::from_max_abs(8, 1.0).qmax(), 127);
+        assert_eq!(QuantParams::from_max_abs(16, 1.0).qmax(), 32767);
+        assert_eq!(QuantParams::from_max_abs(4, 1.0).qmax(), 7);
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_is_within_half_step() {
+        let params = QuantParams::from_max_abs(8, 2.0);
+        for i in -100..=100 {
+            let value = i as f32 * 0.02;
+            let reconstructed = params.fake_quantize(value);
+            assert!(
+                (value - reconstructed).abs() <= params.step() / 2.0 + 1e-6,
+                "value {value} reconstructed as {reconstructed}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_saturates() {
+        let params = QuantParams::from_max_abs(8, 1.0);
+        assert_eq!(params.quantize(10.0), 127);
+        assert_eq!(params.quantize(-10.0), -127);
+    }
+
+    #[test]
+    fn zero_range_is_exact() {
+        let params = QuantParams::from_max_abs(8, 0.0);
+        assert_eq!(params.quantize(0.0), 0);
+        assert_eq!(params.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn higher_bit_width_reduces_error() {
+        let value = 0.7312345_f32;
+        let err8 = (QuantParams::from_max_abs(8, 1.0).fake_quantize(value) - value).abs();
+        let err16 = (QuantParams::from_max_abs(16, 1.0).fake_quantize(value) - value).abs();
+        assert!(err16 < err8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=31")]
+    fn zero_bits_panics() {
+        let _ = QuantParams::from_max_abs(0, 1.0);
+    }
+}

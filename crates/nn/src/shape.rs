@@ -1,0 +1,128 @@
+//! Feature-map shapes and shape arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a 3-D feature map: `channels × height × width`.
+///
+/// Using the paper's notation (Table I), an input feature map has shape
+/// `C × H × W` and an output feature map has shape `D × E × F`.
+///
+/// # Example
+///
+/// ```
+/// use timely_nn::shape::FeatureMap;
+///
+/// let fm = FeatureMap::new(3, 224, 224);
+/// assert_eq!(fm.elements(), 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureMap {
+    /// Number of channels (`C` for inputs, `D` for outputs).
+    pub channels: usize,
+    /// Spatial height (`H` for inputs, `E` for outputs).
+    pub height: usize,
+    /// Spatial width (`W` for inputs, `F` for outputs).
+    pub width: usize,
+}
+
+impl FeatureMap {
+    /// Creates a new feature-map shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Creates the shape of a flattened vector (e.g. the input of an MLP):
+    /// a single "pixel" with `features` channels.
+    pub fn vector(features: usize) -> Self {
+        Self::new(features, 1, 1)
+    }
+
+    /// Total number of scalar elements in the feature map.
+    pub fn elements(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Returns the shape as a `(channels, height, width)` tuple.
+    pub fn as_tuple(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Whether the feature map is spatially degenerate (1×1), i.e. a plain
+    /// vector as consumed by fully-connected layers.
+    pub fn is_vector(&self) -> bool {
+        self.height == 1 && self.width == 1
+    }
+
+    /// Output spatial size of a window operation (convolution or pooling)
+    /// along one dimension.
+    ///
+    /// Returns `None` if the (padded) input is smaller than the kernel, which
+    /// would produce an empty output.
+    pub fn window_output(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+        debug_assert!(stride > 0, "stride must be nonzero");
+        let padded = input + 2 * padding;
+        if padded < kernel {
+            return None;
+        }
+        Some((padded - kernel) / stride + 1)
+    }
+}
+
+impl fmt::Display for FeatureMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+impl From<(usize, usize, usize)> for FeatureMap {
+    fn from((channels, height, width): (usize, usize, usize)) -> Self {
+        Self::new(channels, height, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_multiplies_dimensions() {
+        assert_eq!(FeatureMap::new(64, 56, 56).elements(), 64 * 56 * 56);
+        assert_eq!(FeatureMap::vector(1000).elements(), 1000);
+    }
+
+    #[test]
+    fn vector_is_spatially_degenerate() {
+        assert!(FeatureMap::vector(4096).is_vector());
+        assert!(!FeatureMap::new(3, 224, 224).is_vector());
+    }
+
+    #[test]
+    fn window_output_standard_cases() {
+        // 224x224 input, 3x3 kernel, stride 1, padding 1 -> 224
+        assert_eq!(FeatureMap::window_output(224, 3, 1, 1), Some(224));
+        // 224x224 input, 7x7 kernel, stride 2, padding 3 -> 112
+        assert_eq!(FeatureMap::window_output(224, 7, 2, 3), Some(112));
+        // 2x2 max pooling with stride 2 halves the dimension
+        assert_eq!(FeatureMap::window_output(224, 2, 2, 0), Some(112));
+        // 1x1 convolution preserves the dimension
+        assert_eq!(FeatureMap::window_output(56, 1, 1, 0), Some(56));
+    }
+
+    #[test]
+    fn window_output_empty_when_kernel_too_large() {
+        assert_eq!(FeatureMap::window_output(2, 5, 1, 0), None);
+        assert_eq!(FeatureMap::window_output(2, 5, 1, 2), Some(2));
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let fm: FeatureMap = (3, 32, 32).into();
+        assert_eq!(fm.to_string(), "3x32x32");
+        assert_eq!(fm.as_tuple(), (3, 32, 32));
+    }
+}

@@ -1,0 +1,31 @@
+//! Compare TIMELY against PRIME and ISAAC across the benchmark zoo — the
+//! per-model version of Fig. 8(a).
+//!
+//! Run with `cargo run --release --example compare_accelerators`.
+
+use timely::baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let timely8 = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let timely16 = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+    let prime = PrimeModel::default();
+    let isaac = IsaacModel::default();
+
+    println!("{:<12} {:>14} {:>14} {:>12} {:>12}", "model", "TIMELY (mJ)", "PRIME (mJ)", "vs PRIME", "vs ISAAC");
+    for model in timely::nn::zoo::all_models() {
+        let t8 = Accelerator::evaluate(&timely8, &model)?;
+        let t16 = Accelerator::evaluate(&timely16, &model)?;
+        let p = prime.evaluate(&model)?;
+        let i = isaac.evaluate(&model)?;
+        println!(
+            "{:<12} {:>14.3} {:>14.3} {:>11.1}x {:>11.1}x",
+            model.name(),
+            t8.energy_millijoules(),
+            p.energy_millijoules(),
+            p.energy_millijoules() / t8.energy_millijoules(),
+            i.energy_millijoules() / t16.energy_millijoules(),
+        );
+    }
+    Ok(())
+}

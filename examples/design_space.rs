@@ -1,0 +1,40 @@
+//! Design-space exploration: sweep the DTC/TDC sharing factor γ and the
+//! number of sub-chips χ, and report peak efficiency, computational density,
+//! and VGG-1 throughput (§V and §VI-D discuss both trade-offs).
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use timely::arch::{PeakPerformance, ThroughputReport};
+use timely::prelude::*;
+
+fn main() -> Result<(), timely::arch::ArchError> {
+    let model = timely::nn::zoo::vgg_1();
+
+    println!("-- gamma sweep (trade-off: throughput vs computational density) --");
+    println!("{:>6} {:>14} {:>18} {:>16}", "gamma", "TOPs/W", "TOPs/(s*mm^2)", "VGG-1 inf/s");
+    for gamma in [2usize, 4, 8, 16, 32] {
+        let config = TimelyConfig::builder().gamma(gamma).build()?;
+        let peak = PeakPerformance::for_config(&config);
+        let throughput = ThroughputReport::for_model(&model, &config)?;
+        println!(
+            "{gamma:>6} {:>14.1} {:>18.1} {:>16.0}",
+            peak.tops_per_watt, peak.tops_per_mm2, throughput.inferences_per_second
+        );
+    }
+
+    println!();
+    println!("-- sub-chip count sweep (area scaling, Section VI-D) --");
+    println!("{:>10} {:>14} {:>14} {:>16}", "sub-chips", "area (mm^2)", "TOPs/W", "VGG-1 mJ");
+    for subchips in [26usize, 53, 106, 212] {
+        let config = TimelyConfig::builder().subchips_per_chip(subchips).build()?;
+        let accelerator = TimelyAccelerator::new(config);
+        let report = accelerator.evaluate(&model)?;
+        println!(
+            "{subchips:>10} {:>14.1} {:>14.1} {:>16.3}",
+            accelerator.area().total().as_square_millimeters(),
+            accelerator.peak().tops_per_watt,
+            report.energy_millijoules()
+        );
+    }
+    Ok(())
+}

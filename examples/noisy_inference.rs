@@ -1,0 +1,35 @@
+//! Accuracy under analog noise: sweep the per-stage X-subBuf error ε and
+//! report whether the cascaded error stays within the DTC design margin and
+//! how often noisy classifications disagree with noise-free ones (§VI-B).
+//!
+//! Run with `cargo run --release --example noisy_inference`.
+
+use timely::analog::alb::XSubBuf;
+use timely::analog::Time;
+use timely::arch::accuracy::AccuracyStudy;
+use timely::prelude::*;
+
+fn main() -> Result<(), timely::arch::ArchError> {
+    let config = TimelyConfig::paper_default();
+    let model = timely::nn::zoo::cnn_1();
+
+    println!(
+        "{:>12} {:>18} {:>14} {:>16}",
+        "eps (ps)", "sqrt(12)*eps (ps)", "in margin?", "accuracy loss"
+    );
+    for epsilon_ps in [2.0, 5.0, 10.0, 20.0, 50.0] {
+        let mut study = AccuracyStudy::from_config(&config);
+        study.x_subbuf = XSubBuf {
+            epsilon: Time::from_picoseconds(epsilon_ps),
+        };
+        study.samples = 40;
+        let report = study.run(&model, &config)?;
+        println!(
+            "{epsilon_ps:>12.1} {:>18.1} {:>14} {:>15.1}%",
+            study.x_subbuf.cascaded_error(study.cascaded_stages).as_picoseconds(),
+            study.within_margin(),
+            report.accuracy_loss() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: evaluate VGG-16 ("VGG-D") on the paper's default TIMELY chip
+//! and print the energy, throughput, and area summary.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use timely::arch::{DataType, MemoryLevel};
+use timely::prelude::*;
+
+fn main() -> Result<(), timely::arch::ArchError> {
+    let model = timely::nn::zoo::vgg_d();
+    let accelerator = TimelyAccelerator::new(TimelyConfig::paper_default());
+
+    let report = accelerator.evaluate(&model)?;
+    println!("model: {model}");
+    println!("MACs per inference: {:.2} G", report.total_macs as f64 / 1e9);
+    println!("energy per inference: {:.3} mJ", report.energy_millijoules());
+    println!(
+        "  inputs {:.3} mJ | psums {:.3} mJ | outputs {:.3} mJ | compute {:.3} mJ",
+        report.energy.by_data_type(DataType::Input).as_millijoules(),
+        report.energy.by_data_type(DataType::Psum).as_millijoules(),
+        report.energy.by_data_type(DataType::Output).as_millijoules(),
+        report.energy.by_data_type(DataType::Compute).as_millijoules(),
+    );
+    println!(
+        "  analog local buffers {:.4} mJ vs L1 buffers {:.3} mJ",
+        report
+            .energy
+            .by_memory_level(MemoryLevel::AnalogLocal)
+            .as_millijoules(),
+        report.energy.by_memory_level(MemoryLevel::L1).as_millijoules(),
+    );
+    println!(
+        "energy efficiency: {:.1} TOPs/W (peak {:.1} TOPs/W)",
+        report.energy_efficiency_tops_per_watt(),
+        accelerator.peak().tops_per_watt
+    );
+    println!(
+        "throughput: {:.0} inferences/s (single-inference latency {:.2} ms)",
+        report.throughput_inferences_per_second(),
+        report.throughput.single_inference_latency.as_milliseconds()
+    );
+    println!(
+        "chip area: {:.1} mm^2 across {} sub-chips",
+        accelerator.area().total().as_square_millimeters(),
+        accelerator.config().subchips_per_chip
+    );
+    Ok(())
+}

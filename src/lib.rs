@@ -1,0 +1,38 @@
+//! # TIMELY reproduction — facade crate
+//!
+//! This crate re-exports the public API of the TIMELY (ISCA 2020)
+//! reproduction workspace so downstream users can depend on a single crate:
+//!
+//! * [`nn`] — CNN/DNN model zoo, workload analysis and quantized inference,
+//! * [`analog`] — ReRAM crossbars, time-domain interfaces, analog local
+//!   buffers, and the component energy/area library,
+//! * [`arch`] — the TIMELY architecture simulator (sub-chips, O2IR mapping,
+//!   pipelines, energy/area/latency accounting),
+//! * [`baselines`] — PRIME, ISAAC, PipeLayer, AtomLayer and Eyeriss-like
+//!   reference models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use timely::prelude::*;
+//!
+//! let model = timely::nn::zoo::vgg_d();
+//! let accelerator = TimelyAccelerator::new(TimelyConfig::paper_default());
+//! let report = accelerator.evaluate(&model)?;
+//! assert!(report.energy.total().as_millijoules() > 0.0);
+//! # Ok::<(), timely::arch::ArchError>(())
+//! ```
+
+pub use timely_analog as analog;
+pub use timely_baselines as baselines;
+pub use timely_core as arch;
+pub use timely_nn as nn;
+
+/// Commonly used items, importable with `use timely::prelude::*`.
+pub mod prelude {
+    pub use timely_baselines::{
+        Accelerator, AtomLayerModel, EyerissModel, IsaacModel, PipeLayerModel, PrimeModel,
+    };
+    pub use timely_core::{EvalReport, TimelyAccelerator, TimelyConfig};
+    pub use timely_nn::{Model, ModelBuilder};
+}

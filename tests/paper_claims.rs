@@ -1,0 +1,158 @@
+//! Cross-crate integration tests checking the paper's headline claims
+//! end-to-end: each test exercises the model zoo, the workload analysis, the
+//! TIMELY simulator, and the baseline models together.
+
+use timely::baselines::{Accelerator, IsaacModel, PrimeModel, PrimeWithAlbO2ir};
+use timely::prelude::*;
+
+fn geometric_mean(values: &[f64]) -> f64 {
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[test]
+fn timely_beats_prime_by_roughly_an_order_of_magnitude_in_energy_efficiency() {
+    // Fig. 8(a): geometric-mean improvement over PRIME of ~10x across the
+    // benchmark suite (we evaluate a representative subset to keep the test
+    // fast; the full sweep is the fig08a binary).
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    let mut ratios = Vec::new();
+    for model in [
+        timely::nn::zoo::vgg_d(),
+        timely::nn::zoo::cnn_1(),
+        timely::nn::zoo::mlp_l(),
+        timely::nn::zoo::resnet_50(),
+        timely::nn::zoo::squeezenet(),
+    ] {
+        let t = Accelerator::evaluate(&timely, &model).unwrap();
+        let p = prime.evaluate(&model).unwrap();
+        ratios.push(p.energy_millijoules() / t.energy_millijoules());
+    }
+    let gmean = geometric_mean(&ratios);
+    assert!(
+        (4.0..40.0).contains(&gmean),
+        "geometric-mean improvement over PRIME should be roughly an order of magnitude, got {gmean:.1}x"
+    );
+    // Every model must individually improve.
+    assert!(ratios.iter().all(|&r| r > 1.0));
+}
+
+#[test]
+fn vgg_d_improvement_over_prime_matches_the_paper_band() {
+    // Paper: 15.6x for VGG-D.
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    let model = timely::nn::zoo::vgg_d();
+    let t = Accelerator::evaluate(&timely, &model).unwrap();
+    let p = prime.evaluate(&model).unwrap();
+    let ratio = p.energy_millijoules() / t.energy_millijoules();
+    assert!(
+        (8.0..35.0).contains(&ratio),
+        "VGG-D improvement {ratio:.1}x (paper: 15.6x)"
+    );
+}
+
+#[test]
+fn compact_models_gain_less_than_large_models() {
+    // Fig. 8(a) discussion: CNN-1 and SqueezeNet gain less because they fit
+    // in one PRIME bank.
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    let ratio = |name: &str| {
+        let model = timely::nn::zoo::by_name(name).unwrap();
+        let t = Accelerator::evaluate(&timely, &model).unwrap();
+        let p = prime.evaluate(&model).unwrap();
+        p.energy_millijoules() / t.energy_millijoules()
+    };
+    assert!(ratio("CNN-1") < ratio("VGG-D"));
+    assert!(ratio("SqueezeNet") < ratio("VGG-D"));
+}
+
+#[test]
+fn timely_outperforms_isaac_at_sixteen_bit_precision() {
+    // Fig. 8(a): geometric mean ~14.8x over ISAAC on ISAAC's benchmarks.
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+    let isaac = IsaacModel::default();
+    let mut ratios = Vec::new();
+    for model in [timely::nn::zoo::vgg_1(), timely::nn::zoo::vgg_2()] {
+        let t = Accelerator::evaluate(&timely, &model).unwrap();
+        let i = isaac.evaluate(&model).unwrap();
+        ratios.push(i.energy_millijoules() / t.energy_millijoules());
+    }
+    let gmean = geometric_mean(&ratios);
+    assert!(
+        (5.0..40.0).contains(&gmean),
+        "improvement over ISAAC {gmean:.1}x (paper geometric mean ~14.8x)"
+    );
+}
+
+#[test]
+fn timely_throughput_exceeds_prime_by_orders_of_magnitude() {
+    // Fig. 8(b): 736.6x over PRIME on VGG-D (16-chip configuration).
+    let timely_cfg = TimelyConfig::builder().chips(16).build().unwrap();
+    let timely = TimelyAccelerator::new(timely_cfg);
+    let prime = PrimeModel::new(
+        timely::baselines::prime::PrimeConfig::paper_default().with_chips(16),
+    );
+    let model = timely::nn::zoo::vgg_d();
+    let t = Accelerator::evaluate(&timely, &model).unwrap();
+    let p = prime.evaluate(&model).unwrap();
+    let ratio = t.inferences_per_second / p.inferences_per_second;
+    assert!(
+        ratio > 100.0,
+        "throughput improvement over PRIME {ratio:.0}x (paper: 736.6x)"
+    );
+}
+
+#[test]
+fn peak_performance_ordering_matches_table_iv() {
+    // TIMELY must dominate every baseline in energy efficiency, and beat
+    // PipeLayer (the densest baseline) in computational density.
+    let timely8 = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let timely16 = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+    let prime = PrimeModel::default();
+    let isaac = IsaacModel::default();
+    assert!(Accelerator::peak(&timely8).tops_per_watt > prime.peak().tops_per_watt * 5.0);
+    assert!(Accelerator::peak(&timely16).tops_per_watt > isaac.peak().tops_per_watt * 10.0);
+    assert!(Accelerator::peak(&timely8).tops_per_mm2 > prime.peak().tops_per_mm2 * 20.0);
+}
+
+#[test]
+fn prime_with_alb_o2ir_reproduces_the_generalization_claim() {
+    // Fig. 11: ~68% intra-bank data-movement energy reduction on VGG-D.
+    let study = PrimeWithAlbO2ir::new();
+    let energy = study.intra_bank_energy(&timely::nn::zoo::vgg_d()).unwrap();
+    assert!((0.5..0.95).contains(&energy.reduction()));
+}
+
+#[test]
+fn interface_energy_reduction_matches_fig_9b() {
+    // Fig. 9(b): TIMELY's DTC/TDC energy is ~99.6% lower than PRIME's
+    // DAC/ADC energy on VGG-D.
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    let model = timely::nn::zoo::vgg_d();
+    let t = Accelerator::evaluate(&timely, &model).unwrap();
+    let p = prime.evaluate(&model).unwrap();
+    let reduction = 1.0 - t.energy.interfaces() / p.energy.interfaces();
+    assert!(
+        reduction > 0.95,
+        "interface energy reduction {reduction:.4} (paper: 0.996)"
+    );
+}
+
+#[test]
+fn memory_energy_reduction_matches_fig_9c() {
+    // Fig. 9(c): 93% memory-energy reduction on VGG-D.
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    let model = timely::nn::zoo::vgg_d();
+    let t = Accelerator::evaluate(&timely, &model).unwrap();
+    let p = prime.evaluate(&model).unwrap();
+    let reduction = 1.0 - t.energy.data_movement() / p.energy.data_movement();
+    assert!(
+        reduction > 0.85,
+        "memory energy reduction {reduction:.3} (paper: 0.93)"
+    );
+}

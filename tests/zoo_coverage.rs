@@ -1,0 +1,91 @@
+//! Integration test: every benchmark in the zoo can be evaluated end-to-end
+//! on TIMELY and on every baseline that supports it, and the reports are
+//! internally consistent.
+
+use timely::baselines::{
+    Accelerator, AtomLayerModel, EyerissModel, IsaacModel, PipeLayerModel, PrimeModel,
+};
+use timely::prelude::*;
+
+#[test]
+fn every_zoo_model_evaluates_on_timely_8bit() {
+    let accelerator = TimelyAccelerator::new(TimelyConfig::paper_default());
+    for model in timely::nn::zoo::all_models() {
+        let report = accelerator
+            .evaluate(&model)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", model.name()));
+        assert!(report.energy_millijoules() > 0.0, "{}", model.name());
+        assert!(
+            report.throughput_inferences_per_second() > 0.0,
+            "{}",
+            model.name()
+        );
+        assert_eq!(report.model_name, model.name());
+        // Larger models must not be cheaper per inference than CNN-1.
+        assert!(report.total_macs > 0);
+    }
+}
+
+#[test]
+fn every_zoo_model_evaluates_on_every_baseline() {
+    let baselines: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(PrimeModel::default()),
+        Box::new(IsaacModel::default()),
+        Box::new(PipeLayerModel::new()),
+        Box::new(AtomLayerModel::new()),
+        Box::new(EyerissModel::new()),
+    ];
+    for model in timely::nn::zoo::all_models() {
+        for baseline in &baselines {
+            let report = baseline
+                .evaluate(&model)
+                .unwrap_or_else(|e| panic!("{} on {} failed: {e}", baseline.name(), model.name()));
+            assert!(
+                report.energy.total().as_femtojoules() > 0.0,
+                "{} on {}",
+                baseline.name(),
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_ranking_is_stable_across_model_sizes() {
+    // For every model, the energy ordering TIMELY < PRIME must hold; and among
+    // the convolutional ImageNet benchmarks, MAC count and energy must grow
+    // together (MLP-only models are excluded: their energy is dominated by
+    // their tiny activation volume, not their MAC count).
+    let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let prime = PrimeModel::default();
+    for model in timely::nn::zoo::all_models() {
+        let t = Accelerator::evaluate(&timely, &model).unwrap();
+        let p = prime.evaluate(&model).unwrap();
+        assert!(
+            t.energy_millijoules() < p.energy_millijoules(),
+            "TIMELY must beat PRIME on {}",
+            model.name()
+        );
+    }
+    let energy_of = |name: &str| {
+        let model = timely::nn::zoo::by_name(name).unwrap();
+        timely
+            .evaluate(&model)
+            .unwrap()
+            .energy_millijoules()
+    };
+    assert!(energy_of("SqueezeNet") < energy_of("ResNet-50"));
+    assert!(energy_of("ResNet-50") < energy_of("ResNet-152"));
+    assert!(energy_of("VGG-1") < energy_of("VGG-4"));
+}
+
+#[test]
+fn sixteen_bit_configuration_is_consistently_more_expensive() {
+    let timely8 = TimelyAccelerator::new(TimelyConfig::paper_default());
+    let timely16 = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+    for model in timely::nn::zoo::prime_benchmarks() {
+        let e8 = timely8.evaluate(&model).unwrap().energy_millijoules();
+        let e16 = timely16.evaluate(&model).unwrap().energy_millijoules();
+        assert!(e16 > e8, "{}: 16-bit {e16} <= 8-bit {e8}", model.name());
+    }
+}
