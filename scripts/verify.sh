@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the whole workspace must build in release mode and the
+# full test suite (unit + integration + doc tests) must pass. Everything is
+# offline: all external dependencies are path stubs under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+echo "tier-1 verify: OK"

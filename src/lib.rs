@@ -22,6 +22,14 @@
 //! assert!(report.energy.total().as_millijoules() > 0.0);
 //! # Ok::<(), timely::arch::ArchError>(())
 //! ```
+//!
+//! # Offline builds
+//!
+//! The workspace builds with no network access: every external dependency
+//! (`serde`, `rand`, `proptest`, `criterion`) is an API-compatible stub
+//! vendored under `vendor/` as a path dependency. Do not add crates.io
+//! dependencies; extend the matching stub instead. See the repository
+//! `README.md` for the full build/test/bench instructions.
 
 pub use timely_analog as analog;
 pub use timely_baselines as baselines;

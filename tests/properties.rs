@@ -45,7 +45,9 @@ fn arbitrary_config() -> impl Strategy<Value = TimelyConfig> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Capped so the whole suite stays fast on a single-CPU CI container;
+    // override with e.g. `PROPTEST_CASES=256 cargo test`.
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn energy_is_positive_and_finite_for_any_model_and_config(

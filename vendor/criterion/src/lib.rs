@@ -1,0 +1,241 @@
+//! Offline stub of `criterion` implementing the subset this workspace's
+//! benches use: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately lightweight for the 1-CPU container: each
+//! benchmark warms up once, then runs enough iterations to fill a short
+//! measurement window (capped), and prints a `name: median ns/iter` line.
+//! Set `CRITERION_MEASUREMENT_MS` to change the window.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let window = measurement_window();
+        // One warm-up iteration, also used to size the batch.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (window.as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.nanos_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn measurement_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms)
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.nanos_per_iter {
+        Some(ns) if ns >= 1_000_000.0 => {
+            println!("bench {full:<40} {:>12.3} ms/iter", ns / 1_000_000.0)
+        }
+        Some(ns) if ns >= 1_000.0 => {
+            println!("bench {full:<40} {:>12.3} us/iter", ns / 1_000.0)
+        }
+        Some(ns) => println!("bench {full:<40} {ns:>12.1} ns/iter"),
+        None => println!("bench {full:<40} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkIdInput>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(None, &id, &bencher);
+        self
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+#[derive(Debug)]
+pub struct BenchmarkIdInput(String);
+
+impl From<&str> for BenchmarkIdInput {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdInput {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdInput {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.id)
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkIdInput>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(Some(&self.name), &id, &bencher);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkIdInput>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(Some(&self.name), &id, &bencher);
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// An opaque value the optimizer cannot see through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Neither test touches CRITERION_MEASUREMENT_MS: set_var while a
+    // parallel test thread calls env::var is a setenv/getenv data race.
+    // The default 100 ms window is cheap here because the closures are
+    // trivial and the iteration count is capped at 1000.
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| (0..100u64).sum::<u64>());
+        let ns = bencher.nanos_per_iter.expect("iter() must record a time");
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn groups_and_ids_accept_the_criterion_surface() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = criterion.benchmark_group("group");
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| {
+            b.iter(|| black_box(2 * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,365 @@
+//! Offline stub of `rand` providing the subset of the 0.8 API this workspace
+//! uses: [`Rng`]/[`RngCore`]/[`SeedableRng`], a deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded via splitmix64), and
+//! [`distributions::Uniform`] / [`distributions::Standard`].
+//!
+//! Everything is deterministic — there is no OS entropy source in the
+//! offline container, and the workspace only ever seeds explicitly.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (the high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    fn gen_range<T: distributions::SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        distributions::Distribution::sample(
+            &distributions::Uniform::new(range.start, range.end),
+            self,
+        )
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with splitmix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Deterministic stand-in for entropy seeding (no OS entropy offline).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not be seeded with all zeros.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Distributions over random values.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution producing values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: floats uniform in `[0, 1)`,
+    /// integers uniform over their full range.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Types that [`Uniform`] can sample.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Samples uniformly from `[low, high]` (`inclusive`) or
+        /// `[low, high)`.
+        fn sample_uniform<R: Rng + ?Sized>(low: Self, high: Self, inclusive: bool, rng: &mut R)
+            -> Self;
+    }
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let unit: $t = Standard.sample(rng);
+                    low + unit * (high - low)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (high as i128) - (low as i128) + if inclusive { 1 } else { 0 };
+                    assert!(span > 0, "empty Uniform range");
+                    let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                    (low as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform distribution over a fixed range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+        inclusive: bool,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: X, high: X) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Self {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: X, high: X) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+            Self {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_uniform(self.low, self.high, self.inclusive, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_gives_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn standard_floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_inclusive_float_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Uniform::new_inclusive(-0.5f32, 0.5f32);
+        for _ in 0..10_000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_integers_cover_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = Uniform::new_inclusive(0usize, 3usize);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[dist.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn uniform_floats_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let dist = Uniform::new_inclusive(0.0f64, 1.0f64);
+        let n = 50_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_unsized_rng_references() {
+        // Mirrors how the workspace calls `gen` with `R: Rng + ?Sized`.
+        fn sample_one<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = sample_one(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,609 @@
+//! Offline stub of `serde` providing the subset of the API this workspace
+//! uses: the [`Serialize`] / [`Deserialize`] traits, the derive macros
+//! (re-exported from the companion `serde_derive` stub), and a small
+//! self-describing JSON-like text format under [`json`] so values can
+//! actually be round-tripped.
+//!
+//! The wire format is intentionally simple and only guaranteed to round-trip
+//! its own output:
+//!
+//! * named structs     → `{"field":value,...}` (declaration order)
+//! * newtype structs   → the inner value
+//! * tuple structs     → `[v0,v1,...]`
+//! * unit enum variant → `"Variant"`
+//! * data enum variant → `{"Variant":value}` / `{"Variant":[v0,...]}`
+//! * sequences         → `[v0,v1,...]`
+//! * `Option`          → `null` or the value
+//! * floats            → shortest round-trip decimal (`{:?}`)
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A value that can be written to a [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` into the serializer's output.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// A value that can be read back from a [`Deserializer`].
+pub trait Deserialize: Sized {
+    /// Parses a value of `Self` from the deserializer's input.
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error>;
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde stub error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Writer for the stub's JSON-like text format.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer, returning the serialized text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn comma_if_needed(&mut self) {
+        match self.out.as_bytes().last() {
+            Some(b'{') | Some(b'[') | Some(b':') | Some(b',') | None => {}
+            _ => self.out.push(','),
+        }
+    }
+
+    /// Writes a raw token (numbers, `null`, `true`/`false`).
+    pub fn write_raw(&mut self, token: &str) {
+        self.out.push_str(token);
+    }
+
+    /// Writes a quoted, escaped string literal.
+    pub fn write_string(&mut self, value: &str) {
+        self.out.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\t' => self.out.push_str("\\t"),
+                '\r' => self.out.push_str("\\r"),
+                _ => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens a `{` for a named-field struct.
+    pub fn begin_struct(&mut self) {
+        self.comma_if_needed();
+        self.out.push('{');
+    }
+
+    /// Writes one named field of a struct.
+    pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        self.comma_if_needed();
+        self.write_string(name);
+        self.out.push(':');
+        value.serialize(self);
+    }
+
+    /// Closes a named-field struct.
+    pub fn end_struct(&mut self) {
+        self.out.push('}');
+    }
+
+    /// Opens a `[` for a sequence, tuple, or tuple struct.
+    pub fn begin_seq(&mut self) {
+        self.comma_if_needed();
+        self.out.push('[');
+    }
+
+    /// Writes one element of a sequence or tuple.
+    pub fn seq_element<T: Serialize>(&mut self, value: &T) {
+        self.comma_if_needed();
+        value.serialize(self);
+    }
+
+    /// Closes a sequence.
+    pub fn end_seq(&mut self) {
+        self.out.push(']');
+    }
+
+    /// Writes a unit enum variant as `"Name"`.
+    pub fn unit_variant(&mut self, name: &str) {
+        self.comma_if_needed();
+        self.write_string(name);
+    }
+
+    /// Writes a newtype enum variant as `{"Name":value}`.
+    pub fn newtype_variant<T: Serialize>(&mut self, name: &str, value: &T) {
+        self.comma_if_needed();
+        self.out.push('{');
+        self.write_string(name);
+        self.out.push(':');
+        value.serialize(self);
+        self.out.push('}');
+    }
+
+    /// Opens a tuple enum variant: `{"Name":[`.
+    pub fn begin_tuple_variant(&mut self, name: &str) {
+        self.comma_if_needed();
+        self.out.push('{');
+        self.write_string(name);
+        self.out.push_str(":[");
+    }
+
+    /// Closes a tuple enum variant: `]}`.
+    pub fn end_tuple_variant(&mut self) {
+        self.out.push_str("]}");
+    }
+}
+
+/// Reader for the stub's JSON-like text format.
+#[derive(Debug)]
+pub struct Deserializer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Deserializer<'a> {
+    /// Creates a deserializer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self { input, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Peeks the next non-whitespace byte, if any.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    /// Whether the next value is an object (`{`), e.g. a data-carrying
+    /// enum variant.
+    pub fn peek_is_object(&mut self) -> bool {
+        self.peek() == Some(b'{')
+    }
+
+    /// Consumes the given punctuation byte, erroring on mismatch.
+    pub fn expect(&mut self, ch: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == ch => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(Error::custom(format!(
+                "expected {:?} at byte {}, found {:?}",
+                ch as char,
+                self.pos,
+                other.map(|b| b as char)
+            ))),
+        }
+    }
+
+    /// Consumes a separating comma if one is present.
+    pub fn comma_opt(&mut self) {
+        if self.peek() == Some(b',') {
+            self.pos += 1;
+        }
+    }
+
+    /// Opens a named-field struct (`{`).
+    pub fn begin_struct(&mut self) -> Result<(), Error> {
+        self.expect(b'{')
+    }
+
+    /// Reads a named field, checking the key matches `name`.
+    pub fn field<T: Deserialize>(&mut self, name: &str) -> Result<T, Error> {
+        self.comma_opt();
+        let key = self.parse_string()?;
+        if key != name {
+            return Err(Error::custom(format!(
+                "expected field \"{name}\", found \"{key}\""
+            )));
+        }
+        self.expect(b':')?;
+        T::deserialize(self)
+    }
+
+    /// Closes a named-field struct (`}`).
+    pub fn end_struct(&mut self) -> Result<(), Error> {
+        self.expect(b'}')
+    }
+
+    /// Opens a sequence (`[`).
+    pub fn begin_seq(&mut self) -> Result<(), Error> {
+        self.expect(b'[')
+    }
+
+    /// Reads the next sequence element, or `None` at the closing `]`
+    /// (which is consumed).
+    pub fn seq_next<T: Deserialize>(&mut self) -> Result<Option<T>, Error> {
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(None);
+        }
+        self.comma_opt();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(None);
+        }
+        T::deserialize(self).map(Some)
+    }
+
+    /// Reads one element of a fixed-size tuple (comma-separated).
+    pub fn tuple_element<T: Deserialize>(&mut self) -> Result<T, Error> {
+        self.comma_opt();
+        T::deserialize(self)
+    }
+
+    /// Closes a sequence (`]`).
+    pub fn end_seq(&mut self) -> Result<(), Error> {
+        self.expect(b']')
+    }
+
+    /// Parses a quoted string literal, resolving escapes.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let bytes = self.input.as_bytes();
+        let mut out = String::new();
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escaped = bytes.get(self.pos).copied().ok_or_else(|| {
+                        Error::custom("unterminated escape sequence".to_string())
+                    })?;
+                    out.push(match escaped {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => other as char,
+                    });
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one full UTF-8 character.
+                    let rest = &self.input[self.pos..];
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        Err(Error::custom("unterminated string literal".to_string()))
+    }
+
+    /// Reads a bare token (number, `null`, `true`, `false`) up to the next
+    /// delimiter.
+    pub fn parse_token(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b',' | b'}' | b']' | b'{' | b'[' | b':' | b'"' => break,
+                b if b.is_ascii_whitespace() => break,
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos == start {
+            return Err(Error::custom(format!("expected a token at byte {start}")));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Checks the entire input was consumed.
+    pub fn finish(mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "trailing input at byte {}",
+                self.pos
+            )))
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.comma_if_needed();
+                s.write_raw(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let token = d.parse_token()?;
+                token.parse().map_err(|e| {
+                    Error::custom(format!("invalid {}: {token:?} ({e})", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.comma_if_needed();
+                // `{:?}` prints the shortest decimal that round-trips.
+                s.write_raw(&format!("{:?}", self));
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let token = d.parse_token()?;
+                token.parse().map_err(|e| {
+                    Error::custom(format!("invalid {}: {token:?} ({e})", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.comma_if_needed();
+        s.write_raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match d.parse_token()? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(Error::custom(format!("invalid bool: {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.comma_if_needed();
+        s.write_string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_str().serialize(s);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        d.parse_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_seq();
+        for item in self {
+            s.seq_element(item);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::deserialize(d)?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected an array of {N} elements, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        d.begin_seq()?;
+        let mut out = Vec::new();
+        while let Some(item) = d.seq_next()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            None => {
+                s.comma_if_needed();
+                s.write_raw("null");
+            }
+            Some(value) => value.serialize(s),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        if d.peek() == Some(b'n') {
+            let token = d.parse_token()?;
+            if token == "null" {
+                return Ok(None);
+            }
+            return Err(Error::custom(format!("invalid option token {token:?}")));
+        }
+        T::deserialize(d).map(Some)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.begin_seq();
+                $( s.seq_element(&self.$idx); )+
+                s.end_seq();
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+                d.begin_seq()?;
+                let value = ($( { let v: $name = d.tuple_element()?; v }, )+);
+                d.end_seq()?;
+                Ok(value)
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let text = json::to_string(&value);
+        let back: T = json::from_str(&text).unwrap_or_else(|e| {
+            panic!("failed to parse {text:?}: {e}");
+        });
+        assert_eq!(back, value, "round-trip through {text:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(usize::MAX);
+        roundtrip(-123i64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f32);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(-1.25e-300f64);
+    }
+
+    #[test]
+    fn strings_round_trip_with_escapes() {
+        roundtrip(String::from("plain"));
+        roundtrip(String::from("with \"quotes\" and \\ backslash"));
+        roundtrip(String::from("newline\nand\ttab"));
+        roundtrip(String::from("unicode: γ·Ω·χ"));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        roundtrip(vec![1.0f64, 2.5, -3.75]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(7usize));
+        roundtrip(Option::<usize>::None);
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+        roundtrip((1u8, String::from("two"), 3.0f64));
+        roundtrip([1.0f64; 6]);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(json::from_str::<u32>("12 34").is_err());
+        assert!(json::from_str::<Vec<u32>>("[1,2]]").is_err());
+    }
+
+    #[test]
+    fn wrong_shape_is_an_error() {
+        assert!(json::from_str::<[f64; 2]>("[1.0]").is_err());
+        assert!(json::from_str::<bool>("maybe").is_err());
+        assert!(json::from_str::<Vec<u32>>("[1,").is_err());
+    }
+}
+
+/// Convenience entry points mirroring `serde_json`.
+pub mod json {
+    use super::{Deserialize, Deserializer, Error, Serialize, Serializer};
+
+    /// Serializes `value` to the stub's JSON-like text format.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut s = Serializer::new();
+        value.serialize(&mut s);
+        s.into_string()
+    }
+
+    /// Parses a value previously produced by [`to_string`].
+    pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+        let mut d = Deserializer::new(input);
+        let value = T::deserialize(&mut d)?;
+        d.finish()?;
+        Ok(value)
+    }
+}

@@ -1,0 +1,355 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, parsing the item's token stream by
+//! hand (no `syn`/`quote` available offline):
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize as their inner value),
+//! * enums with unit and tuple (incl. newtype) variants.
+//!
+//! Generics and struct-variant enums are unsupported and panic at expansion
+//! time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    /// Struct with named fields (field names in declaration order).
+    NamedStruct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is `(name, payload_arity)` (0 = unit variant).
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("s.begin_struct();\n");
+            for f in fields {
+                body.push_str(&format!("s.field(\"{f}\", &self.{f});\n"));
+            }
+            body.push_str("s.end_struct();");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0, s);".to_string()
+            } else {
+                let mut b = String::from("s.begin_seq();\n");
+                for i in 0..*arity {
+                    b.push_str(&format!("s.seq_element(&self.{i});\n"));
+                }
+                b.push_str("s.end_seq();");
+                b
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "s.begin_struct(); s.end_struct();"),
+        Item::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for (variant, arity) in variants {
+                match arity {
+                    0 => body.push_str(&format!(
+                        "{name}::{variant} => s.unit_variant(\"{variant}\"),\n"
+                    )),
+                    1 => body.push_str(&format!(
+                        "{name}::{variant}(f0) => s.newtype_variant(\"{variant}\", f0),\n"
+                    )),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{variant}({}) => {{ s.begin_tuple_variant(\"{variant}\");\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!("s.seq_element({b});\n"));
+                        }
+                        arm.push_str("s.end_tuple_variant(); }\n");
+                        body.push_str(&arm);
+                    }
+                }
+            }
+            body.push('}');
+            impl_serialize(name, &body)
+        }
+    };
+    code.parse().expect("serde stub derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("d.begin_struct()?;\n");
+            let mut ctor = format!("let value = {name} {{\n");
+            for f in fields {
+                body.push_str(&format!("let field_{f} = d.field(\"{f}\")?;\n"));
+                ctor.push_str(&format!("{f}: field_{f},\n"));
+            }
+            ctor.push_str("};\n");
+            body.push_str(&ctor);
+            body.push_str("d.end_struct()?;\nOk(value)");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(d)?))")
+            } else {
+                let mut b = String::from("d.begin_seq()?;\n");
+                let mut ctor = format!("let value = {name}(");
+                for i in 0..*arity {
+                    b.push_str(&format!("let f{i} = d.tuple_element()?;\n"));
+                    ctor.push_str(&format!("f{i}, "));
+                }
+                ctor.push_str(");\n");
+                b.push_str(&ctor);
+                b.push_str("d.end_seq()?;\nOk(value)");
+                b
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("d.begin_struct()?; d.end_struct()?; Ok({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut tagged = String::new();
+            let mut plain = String::new();
+            for (variant, arity) in variants {
+                match arity {
+                    0 => plain.push_str(&format!("\"{variant}\" => Ok({name}::{variant}),\n")),
+                    1 => tagged.push_str(&format!(
+                        "\"{variant}\" => {name}::{variant}(::serde::Deserialize::deserialize(d)?),\n"
+                    )),
+                    n => {
+                        let mut arm = format!("\"{variant}\" => {{ d.begin_seq()?;\n");
+                        let mut ctor = format!("let v = {name}::{variant}(");
+                        for i in 0..*n {
+                            arm.push_str(&format!("let f{i} = d.tuple_element()?;\n"));
+                            ctor.push_str(&format!("f{i}, "));
+                        }
+                        ctor.push_str(");\n");
+                        arm.push_str(&ctor);
+                        arm.push_str("d.end_seq()?;\nv }\n");
+                        tagged.push_str(&arm);
+                    }
+                }
+            }
+            let body = format!(
+                r#"if d.peek_is_object() {{
+                    d.expect(b'{{')?;
+                    let tag = d.parse_string()?;
+                    d.expect(b':')?;
+                    let value = match tag.as_str() {{
+                        {tagged}
+                        other => return Err(::serde::Error::custom(format!(
+                            "unknown data variant {{other:?}} for {name}"))),
+                    }};
+                    d.expect(b'}}')?;
+                    Ok(value)
+                }} else {{
+                    let tag = d.parse_string()?;
+                    match tag.as_str() {{
+                        {plain}
+                        other => Err(::serde::Error::custom(format!(
+                            "unknown unit variant {{other:?}} for {name}"))),
+                    }}
+                }}"#
+            );
+            impl_deserialize(name, &body)
+        }
+    };
+    code.parse().expect("serde stub derive generated invalid Rust")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, s: &mut ::serde::Serializer) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unreachable_code)]\n\
+             fn deserialize(d: &mut ::serde::Deserializer<'_>) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is unsupported; extend vendor/serde_derive");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde stub derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stub derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips leading attributes (including doc comments) and a visibility
+/// qualifier, advancing `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute's `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional `(crate)` / `(super)` restriction
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past a type, stopping at a top-level `,` (angle brackets
+/// tracked as punct depth; `(...)`/`[...]` arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde stub derive: struct variant `{name}` is unsupported; \
+                     extend vendor/serde_derive"
+                );
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        variants.push((name, arity));
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
