@@ -199,8 +199,7 @@ mod tests {
             .map(|_| x.buffer_noisy(input, &mut rng).as_picoseconds())
             .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 5000.0).abs() < 1.0, "mean {mean}");
         assert!((var.sqrt() - 10.0).abs() < 0.5, "sigma {}", var.sqrt());
     }
@@ -224,9 +223,7 @@ mod tests {
         let outs = chain.propagate(Time::from_nanoseconds(1.0));
         assert_eq!(outs.len(), 12);
         assert!(outs.iter().all(|&t| t == Time::from_nanoseconds(1.0)));
-        assert!(
-            (chain.worst_case_error().as_picoseconds() - 5.0 * 12f64.sqrt()).abs() < 1e-9
-        );
+        assert!((chain.worst_case_error().as_picoseconds() - 5.0 * 12f64.sqrt()).abs() < 1e-9);
     }
 
     #[test]

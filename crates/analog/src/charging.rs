@@ -110,9 +110,7 @@ impl ChargingUnit {
     /// The phase-II duration `T_x = T̃ − T_o` for a given output; always in
     /// `[0, T̃]` for in-range dot products.
     pub fn phase_two_duration(&self, output: Time) -> Time {
-        Time::from_picoseconds(
-            (self.phase.as_picoseconds() - output.as_picoseconds()).max(0.0),
-        )
+        Time::from_picoseconds((self.phase.as_picoseconds() - output.as_picoseconds()).max(0.0))
     }
 }
 
@@ -212,10 +210,8 @@ mod tests {
         let total = IAdder::new(4).sum_charges(&charges);
         let from_charge = unit.output_time_from_charge(total);
 
-        let resistances: Vec<Resistance> = levels
-            .iter()
-            .map(|&l| cfg.resistance(l).unwrap())
-            .collect();
+        let resistances: Vec<Resistance> =
+            levels.iter().map(|&l| cfg.resistance(l).unwrap()).collect();
         let direct = unit.output_time(&times, &resistances).unwrap();
         let rel = (from_charge.as_picoseconds() - direct.as_picoseconds()).abs()
             / direct.as_picoseconds();
@@ -233,9 +229,7 @@ mod tests {
         let dtc = Dtc::timely_8bit();
         let tdc = Tdc {
             bits: 8,
-            unit_delay: Time::from_picoseconds(
-                unit.phase.as_picoseconds() / 256.0,
-            ),
+            unit_delay: Time::from_picoseconds(unit.phase.as_picoseconds() / 256.0),
         };
         let mut previous_code = 0;
         for scale in [0u32, 64, 128, 192, 255] {
@@ -247,7 +241,10 @@ mod tests {
                 levels.iter().map(|&l| cfg.resistance(l).unwrap()).collect();
             let out = unit.output_time(&times, &resistances).unwrap();
             let code = tdc.convert(out);
-            assert!(code >= previous_code, "codes must be monotonic in the dot product");
+            assert!(
+                code >= previous_code,
+                "codes must be monotonic in the dot product"
+            );
             previous_code = code;
         }
         assert!(previous_code > 0);

@@ -208,8 +208,8 @@ impl ComponentLibrary {
     /// ≈20.7 fJ) rather than the full 2 KB buffer-access energy of Table II,
     /// because the paper normalizes against the former.
     pub fn normalized(&self) -> NormalizedUnitEnergies {
-        let reference_unit_access = self.x_subbuf.energy_per_op
-            / NormalizedUnitEnergies::paper().x_subbuf_vs_buffer;
+        let reference_unit_access =
+            self.x_subbuf.energy_per_op / NormalizedUnitEnergies::paper().x_subbuf_vs_buffer;
         NormalizedUnitEnergies {
             dtc_vs_dac: self.dtc.energy_per_op / self.dac.energy_per_op,
             tdc_vs_adc: self.tdc.energy_per_op / self.adc.energy_per_op,
@@ -268,8 +268,14 @@ mod tests {
     #[test]
     fn table_ii_buffer_access_energies_are_reproduced() {
         let lib = ComponentLibrary::timely_65nm();
-        assert_eq!(lib.input_buffer_access.energy_per_op.as_femtojoules(), 12_736.0);
-        assert_eq!(lib.output_buffer_access.energy_per_op.as_femtojoules(), 31_039.0);
+        assert_eq!(
+            lib.input_buffer_access.energy_per_op.as_femtojoules(),
+            12_736.0
+        );
+        assert_eq!(
+            lib.output_buffer_access.energy_per_op.as_femtojoules(),
+            31_039.0
+        );
         // Buffer accesses are orders of magnitude costlier than ALB accesses,
         // which is the premise of Innovation #1.
         assert!(

@@ -223,7 +223,10 @@ mod tests {
         for code in 0..dac.codes() {
             let v = dac.convert(code).unwrap();
             let back = adc.convert(v);
-            assert!((back as i64 - code as i64).abs() <= 1, "code {code} -> {back}");
+            assert!(
+                (back as i64 - code as i64).abs() <= 1,
+                "code {code} -> {back}"
+            );
         }
         assert!(dac.convert(999).is_err());
     }

@@ -304,13 +304,12 @@ mod tests {
         let v_dd = Voltage::from_volts(1.2);
         let t = Time::from_nanoseconds(10.0);
         let charges = xbar.column_charges(&[t, t], v_dd).unwrap();
-        let expected = t.as_seconds() * 1.2 * (cfg.conductance(15).unwrap() + cfg.conductance(0).unwrap());
+        let expected =
+            t.as_seconds() * 1.2 * (cfg.conductance(15).unwrap() + cfg.conductance(0).unwrap());
         assert!((charges[0] - expected).abs() / expected < 1e-12);
 
         // Doubling the input time doubles the charge.
-        let charges2 = xbar
-            .column_charges(&[t * 2.0, t * 2.0], v_dd)
-            .unwrap();
+        let charges2 = xbar.column_charges(&[t * 2.0, t * 2.0], v_dd).unwrap();
         assert!((charges2[0] - 2.0 * charges[0]).abs() / charges[0] < 1e-12);
     }
 

@@ -190,9 +190,8 @@ impl IsaacModel {
 
     /// Whether the model's weights fit on the configured chips.
     pub fn fits(&self, workload: &ModelWorkload) -> bool {
-        let per_crossbar =
-            (self.config.crossbar_size * self.config.crossbar_size / self.config.cells_per_weight)
-                as u64;
+        let per_crossbar = (self.config.crossbar_size * self.config.crossbar_size
+            / self.config.cells_per_weight) as u64;
         workload.total_weights()
             <= per_crossbar * self.config.crossbars_per_chip * self.config.chips as u64
     }
@@ -280,7 +279,8 @@ mod tests {
     fn throughput_increases_with_chip_count() {
         let workload = ModelWorkload::analyze(&zoo::vgg_1());
         let one = IsaacModel::new(IsaacConfig::paper_default()).throughput(&workload);
-        let four = IsaacModel::new(IsaacConfig::paper_default().with_chips(4)).throughput(&workload);
+        let four =
+            IsaacModel::new(IsaacConfig::paper_default().with_chips(4)).throughput(&workload);
         assert!(four >= one);
     }
 

@@ -192,7 +192,12 @@ impl PrimeModel {
         let counts = self.counts(workload);
         let fits = self.fits_in_one_bank(workload);
         let (in_read, out_write, psum_write, psum_read) = if fits {
-            (cfg.buffer_read, cfg.buffer_write, cfg.buffer_write, cfg.buffer_read)
+            (
+                cfg.buffer_read,
+                cfg.buffer_write,
+                cfg.buffer_write,
+                cfg.buffer_read,
+            )
         } else {
             (cfg.l2_read, cfg.l2_write, cfg.l2_write, cfg.l2_read)
         };

@@ -242,9 +242,8 @@ mod tests {
         assert!(peak.tops_per_watt > 0.0);
         // The trait view's total must match the native report's total.
         let native = TimelyAccelerator::evaluate(&accel, &zoo::cnn_1()).unwrap();
-        let rel = (report.energy.total().as_femtojoules()
-            - native.energy.total().as_femtojoules())
-        .abs()
+        let rel = (report.energy.total().as_femtojoules() - native.energy.total().as_femtojoules())
+            .abs()
             / native.energy.total().as_femtojoules();
         assert!(rel < 1e-12);
     }
@@ -272,10 +271,7 @@ mod tests {
             reason: "no per-layer data published".into(),
         };
         assert!(err.to_string().contains("PipeLayer"));
-        let arch: BaselineError = ArchError::InvalidConfig {
-            reason: "x".into(),
-        }
-        .into();
+        let arch: BaselineError = ArchError::InvalidConfig { reason: "x".into() }.into();
         assert!(matches!(arch, BaselineError::Arch(_)));
     }
 }

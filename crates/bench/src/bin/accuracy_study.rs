@@ -19,9 +19,18 @@ fn main() {
     table.row(&["cascaded X-subBufs", &study.cascaded_stages.to_string()]);
     table.row(&[
         "accumulated error (ps)",
-        &format!("{:.1}", study.x_subbuf.cascaded_error(study.cascaded_stages).as_picoseconds()),
+        &format!(
+            "{:.1}",
+            study
+                .x_subbuf
+                .cascaded_error(study.cascaded_stages)
+                .as_picoseconds()
+        ),
     ]);
-    table.row(&["design margin (ps)", &format!("{:.0}", study.design_margin.as_picoseconds())]);
+    table.row(&[
+        "design margin (ps)",
+        &format!("{:.0}", study.design_margin.as_picoseconds()),
+    ]);
     table.row(&["within margin", &study.within_margin().to_string()]);
     table.row(&[
         "input noise sigma (LSB)",

@@ -26,7 +26,10 @@ fn main() {
         "Fig. 1(a) - VGG-D on the non-PIM reference",
         &["metric", "value"],
     );
-    table.row(&["total energy (mJ)", &format!("{:.2}", report.energy_millijoules())]);
+    table.row(&[
+        "total energy (mJ)",
+        &format!("{:.2}", report.energy_millijoules()),
+    ]);
     table.row(&["data-movement share", &format_percent(movement_share)]);
     table.print();
 }

@@ -15,12 +15,36 @@ fn main() {
         "Fig. 4(b) - PRIME energy breakdown on VGG-D (paper: inputs 36%, Psums&outputs 47%, ADC 17%, DAC ~0%)",
         &["category", "share", "energy (mJ)"],
     );
-    table.row(&["inputs", &format_percent(inputs), &format!("{:.2}", prime.energy.input_access.as_millijoules())]);
-    table.row(&["psums & outputs", &format_percent(psums), &format!("{:.2}", prime.energy.psum_output_access.as_millijoules())]);
-    table.row(&["ADC", &format_percent(adc), &format!("{:.2}", prime.energy.adc_interface.as_millijoules())]);
-    table.row(&["DAC", &format_percent(dac), &format!("{:.3}", prime.energy.dac_interface.as_millijoules())]);
-    table.row(&["compute", &format_percent(compute), &format!("{:.2}", prime.energy.compute.as_millijoules())]);
-    table.row(&["other", &format_percent(other), &format!("{:.2}", prime.energy.other.as_millijoules())]);
+    table.row(&[
+        "inputs",
+        &format_percent(inputs),
+        &format!("{:.2}", prime.energy.input_access.as_millijoules()),
+    ]);
+    table.row(&[
+        "psums & outputs",
+        &format_percent(psums),
+        &format!("{:.2}", prime.energy.psum_output_access.as_millijoules()),
+    ]);
+    table.row(&[
+        "ADC",
+        &format_percent(adc),
+        &format!("{:.2}", prime.energy.adc_interface.as_millijoules()),
+    ]);
+    table.row(&[
+        "DAC",
+        &format_percent(dac),
+        &format!("{:.3}", prime.energy.dac_interface.as_millijoules()),
+    ]);
+    table.row(&[
+        "compute",
+        &format_percent(compute),
+        &format!("{:.2}", prime.energy.compute.as_millijoules()),
+    ]);
+    table.row(&[
+        "other",
+        &format_percent(other),
+        &format!("{:.2}", prime.energy.other.as_millijoules()),
+    ]);
     table.print();
 
     // ISAAC's breakdown is reported on its own (MSRA-scale) benchmarks; VGG-1
@@ -34,10 +58,30 @@ fn main() {
         &["category", "share", "energy (mJ)"],
     );
     let analog = isaac.energy.interfaces();
-    table.row(&["analog (DAC+ADC)", &format_percent(analog / total), &format!("{:.2}", analog.as_millijoules())]);
-    table.row(&["communication", &format_percent(isaac.energy.psum_output_access / total), &format!("{:.2}", isaac.energy.psum_output_access.as_millijoules())]);
-    table.row(&["memory", &format_percent(isaac.energy.input_access / total), &format!("{:.2}", isaac.energy.input_access.as_millijoules())]);
-    table.row(&["digital", &format_percent(isaac.energy.other / total), &format!("{:.2}", isaac.energy.other.as_millijoules())]);
-    table.row(&["crossbar compute", &format_percent(isaac.energy.compute / total), &format!("{:.2}", isaac.energy.compute.as_millijoules())]);
+    table.row(&[
+        "analog (DAC+ADC)",
+        &format_percent(analog / total),
+        &format!("{:.2}", analog.as_millijoules()),
+    ]);
+    table.row(&[
+        "communication",
+        &format_percent(isaac.energy.psum_output_access / total),
+        &format!("{:.2}", isaac.energy.psum_output_access.as_millijoules()),
+    ]);
+    table.row(&[
+        "memory",
+        &format_percent(isaac.energy.input_access / total),
+        &format!("{:.2}", isaac.energy.input_access.as_millijoules()),
+    ]);
+    table.row(&[
+        "digital",
+        &format_percent(isaac.energy.other / total),
+        &format!("{:.2}", isaac.energy.other.as_millijoules()),
+    ]);
+    table.row(&[
+        "crossbar compute",
+        &format_percent(isaac.energy.compute / total),
+        &format!("{:.2}", isaac.energy.compute.as_millijoules()),
+    ]);
     table.print();
 }

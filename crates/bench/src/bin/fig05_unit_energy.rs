@@ -13,12 +13,36 @@ fn main() {
         "Fig. 5(d) - normalized unit energies (paper: e_DTC=0.02 e_DAC, e_TDC=0.05 e_ADC, e_X=0.03 e_R2, e_P=0.11 e_R2)",
         &["quantity", "normalized", "absolute (fJ)"],
     );
-    table.row(&["e_DAC", "1.00", &format!("{:.1}", lib.dac.energy_per_op.as_femtojoules())]);
-    table.row(&["e_DTC", &format!("{:.3}", norm.dtc_vs_dac), &format!("{:.1}", lib.dtc.energy_per_op.as_femtojoules())]);
-    table.row(&["e_ADC", "1.00", &format!("{:.1}", lib.adc.energy_per_op.as_femtojoules())]);
-    table.row(&["e_TDC", &format!("{:.3}", norm.tdc_vs_adc), &format!("{:.1}", lib.tdc.energy_per_op.as_femtojoules())]);
-    table.row(&["e_X (X-subBuf)", &format!("{:.3}", norm.x_subbuf_vs_buffer), &format!("{:.2}", lib.x_subbuf.energy_per_op.as_femtojoules())]);
-    table.row(&["e_P (P-subBuf)", &format!("{:.3}", norm.p_subbuf_vs_buffer), &format!("{:.2}", lib.p_subbuf.energy_per_op.as_femtojoules())]);
+    table.row(&[
+        "e_DAC",
+        "1.00",
+        &format!("{:.1}", lib.dac.energy_per_op.as_femtojoules()),
+    ]);
+    table.row(&[
+        "e_DTC",
+        &format!("{:.3}", norm.dtc_vs_dac),
+        &format!("{:.1}", lib.dtc.energy_per_op.as_femtojoules()),
+    ]);
+    table.row(&[
+        "e_ADC",
+        "1.00",
+        &format!("{:.1}", lib.adc.energy_per_op.as_femtojoules()),
+    ]);
+    table.row(&[
+        "e_TDC",
+        &format!("{:.3}", norm.tdc_vs_adc),
+        &format!("{:.1}", lib.tdc.energy_per_op.as_femtojoules()),
+    ]);
+    table.row(&[
+        "e_X (X-subBuf)",
+        &format!("{:.3}", norm.x_subbuf_vs_buffer),
+        &format!("{:.2}", lib.x_subbuf.energy_per_op.as_femtojoules()),
+    ]);
+    table.row(&[
+        "e_P (P-subBuf)",
+        &format!("{:.3}", norm.p_subbuf_vs_buffer),
+        &format!("{:.2}", lib.p_subbuf.energy_per_op.as_femtojoules()),
+    ]);
     table.print();
 
     // Fig. 5(c): per-input and per-Psum cost factors. Existing designs pay one

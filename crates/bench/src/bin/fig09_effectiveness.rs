@@ -5,9 +5,7 @@
 
 use timely_baselines::{Accelerator, PrimeModel};
 use timely_bench::table::{format_percent, Table};
-use timely_core::{
-    DataType, EnergyBreakdown, Features, MemoryLevel, ModelMapping, TimelyConfig,
-};
+use timely_core::{DataType, EnergyBreakdown, Features, MemoryLevel, ModelMapping, TimelyConfig};
 use timely_nn::zoo;
 
 fn energy_with_features(features: Features) -> EnergyBreakdown {
@@ -57,8 +55,14 @@ fn main() {
         "Fig. 9(b) - interfacing energy on VGG-D (paper: PRIME DAC+ADC ~2.7 mJ, TIMELY DTC+TDC 99.6% lower)",
         &["design", "interface energy (mJ)"],
     );
-    table.row(&["PRIME (DACs & ADCs)", &format!("{:.3}", prime.energy.interfaces().as_millijoules())]);
-    table.row(&["TIMELY (DTCs & TDCs)", &format!("{:.4}", timely.interfaces().as_millijoules())]);
+    table.row(&[
+        "PRIME (DACs & ADCs)",
+        &format!("{:.3}", prime.energy.interfaces().as_millijoules()),
+    ]);
+    table.row(&[
+        "TIMELY (DTCs & TDCs)",
+        &format!("{:.4}", timely.interfaces().as_millijoules()),
+    ]);
     table.row(&[
         "reduction",
         &format_percent(1.0 - timely.interfaces() / prime.energy.interfaces()),
@@ -74,17 +78,28 @@ fn main() {
     );
     table.row(&[
         "analog local buffers".to_string(),
-        format!("{:.4}", timely.by_memory_level(MemoryLevel::AnalogLocal).as_millijoules()),
+        format!(
+            "{:.4}",
+            timely
+                .by_memory_level(MemoryLevel::AnalogLocal)
+                .as_millijoules()
+        ),
         "-".to_string(),
     ]);
     table.row(&[
         "memory L1".to_string(),
-        format!("{:.3}", timely.by_memory_level(MemoryLevel::L1).as_millijoules()),
+        format!(
+            "{:.3}",
+            timely.by_memory_level(MemoryLevel::L1).as_millijoules()
+        ),
         format!("{:.3}", prime_memory.as_millijoules() * 0.3),
     ]);
     table.row(&[
         "memory L2".to_string(),
-        format!("{:.3}", timely.by_memory_level(MemoryLevel::L2).as_millijoules()),
+        format!(
+            "{:.3}",
+            timely.by_memory_level(MemoryLevel::L2).as_millijoules()
+        ),
         format!("{:.3}", prime_memory.as_millijoules() * 0.7),
     ]);
     table.row(&[

@@ -26,12 +26,40 @@ fn main() {
         "Fig. 10(b) - TIMELY chip area breakdown (paper: DTC 14.2%, TDC 13.8%, ReRAM 2.2%, charging+comp 14.2%, X-subBuf 28.5%, P-subBuf 26.7%)",
         &["component", "share", "area (mm^2)"],
     );
-    table.row(&["DTC", &format_percent(dtc), &format!("{:.2}", area.dtc.as_square_millimeters())]);
-    table.row(&["TDC", &format_percent(tdc), &format!("{:.2}", area.tdc.as_square_millimeters())]);
-    table.row(&["ReRAM crossbars", &format_percent(reram), &format!("{:.2}", area.reram.as_square_millimeters())]);
-    table.row(&["Charging + comparator", &format_percent(charging), &format!("{:.2}", area.charging.as_square_millimeters())]);
-    table.row(&["X-subBuf", &format_percent(x), &format!("{:.2}", area.x_subbuf.as_square_millimeters())]);
-    table.row(&["P-subBuf", &format_percent(p), &format!("{:.2}", area.p_subbuf.as_square_millimeters())]);
-    table.row(&["total chip", "100%", &format!("{:.1}", area.total().as_square_millimeters())]);
+    table.row(&[
+        "DTC",
+        &format_percent(dtc),
+        &format!("{:.2}", area.dtc.as_square_millimeters()),
+    ]);
+    table.row(&[
+        "TDC",
+        &format_percent(tdc),
+        &format!("{:.2}", area.tdc.as_square_millimeters()),
+    ]);
+    table.row(&[
+        "ReRAM crossbars",
+        &format_percent(reram),
+        &format!("{:.2}", area.reram.as_square_millimeters()),
+    ]);
+    table.row(&[
+        "Charging + comparator",
+        &format_percent(charging),
+        &format!("{:.2}", area.charging.as_square_millimeters()),
+    ]);
+    table.row(&[
+        "X-subBuf",
+        &format_percent(x),
+        &format!("{:.2}", area.x_subbuf.as_square_millimeters()),
+    ]);
+    table.row(&[
+        "P-subBuf",
+        &format_percent(p),
+        &format!("{:.2}", area.p_subbuf.as_square_millimeters()),
+    ]);
+    table.row(&[
+        "total chip",
+        "100%",
+        &format!("{:.1}", area.total().as_square_millimeters()),
+    ]);
     table.print();
 }

@@ -1,0 +1,231 @@
+//! Serving study: sweeps arrival rate × chip count × scheduler policy over
+//! the serving model zoo and reports latency percentiles, utilization, and
+//! energy per request from the `timely-sim` discrete-event simulator.
+//!
+//! Run with `cargo run --release -p timely-bench --bin serving_study`; pass
+//! `--smoke` for a fast CI-sized run. Everything is seeded, so repeated runs
+//! print identical numbers.
+
+use timely_bench::table::{format_percent, Table};
+use timely_core::TimelyConfig;
+use timely_nn::zoo;
+use timely_sim::{
+    ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, TrafficSpec,
+};
+
+const SEED: u64 = 0x5E21;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests_per_point = if smoke { 200.0 } else { 2_000.0 };
+
+    let models = zoo::serving_benchmarks();
+    let chip_config = TimelyConfig::paper_default();
+    let chip_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4] };
+    let loads: &[f64] = if smoke {
+        &[0.5, 1.2]
+    } else {
+        &[0.3, 0.7, 0.95, 1.2]
+    };
+
+    // --- Per-model sweep: rate x chips x policy ------------------------------
+    let mut table = Table::new(
+        format!(
+            "Serving study - open-loop Poisson, rate x chips x policy (seed {SEED:#x}, ~{requests_per_point:.0} requests per point)"
+        ),
+        &[
+            "model", "chips", "policy", "load", "offered", "done", "p50 ms", "p95 ms", "p99 ms",
+            "util", "mJ/req",
+        ],
+    );
+    for model in &models {
+        let profile = match timely_sim::ModelProfile::for_model(model, &chip_config) {
+            Ok(profile) => profile,
+            Err(err) => {
+                eprintln!("skipping {}: {err}", model.name());
+                continue;
+            }
+        };
+        for &chips in chip_counts {
+            for policy in policies(&profile) {
+                for &load in loads {
+                    let rate = load * profile.capacity_rps() * chips as f64;
+                    // Keep the horizon well above the unqueued latency so
+                    // in-flight censoring at the horizon stays negligible.
+                    let duration_s = (requests_per_point / rate).max(50.0 * profile.latency_s);
+                    let sim = ServingSimulator::new(
+                        std::slice::from_ref(model),
+                        &chip_config,
+                        SimConfig {
+                            seed: SEED,
+                            duration_s,
+                            chips,
+                            policy,
+                            sharding: Sharding::Replicate,
+                        },
+                    )
+                    .expect("profiled models simulate");
+                    let report = sim.run(&TrafficSpec {
+                        process: ArrivalProcess::Poisson { rate },
+                        mix: ModelMix::single(0),
+                    });
+                    table.row(&[
+                        model.name().to_string(),
+                        chips.to_string(),
+                        policy.label(),
+                        format!("{load:.2}"),
+                        report.offered.to_string(),
+                        report.completed.to_string(),
+                        format!("{:.3}", report.latency.p50_ms),
+                        format!("{:.3}", report.latency.p95_ms),
+                        format!("{:.3}", report.latency.p99_ms),
+                        format_percent(report.mean_utilization()),
+                        format!("{:.2}", report.energy_mj_per_request),
+                    ]);
+                }
+            }
+        }
+    }
+    table.print();
+
+    // --- Mixed model-zoo workload under bursty traffic -----------------------
+    mixed_zoo_study(&models, &chip_config, requests_per_point);
+
+    // --- Low-load cross-check against the analytical model -------------------
+    analytical_crosscheck(&models, &chip_config, requests_per_point);
+}
+
+/// The policy set for the sweep. The batching window is sized relative to
+/// the model's initiation interval so every model sees comparable batching
+/// pressure.
+fn policies(profile: &timely_sim::ModelProfile) -> Vec<Policy> {
+    vec![
+        Policy::Fifo,
+        Policy::Batched {
+            window_s: 32.0 * profile.initiation_interval_s,
+            max_batch: 8,
+        },
+        Policy::ShortestQueue,
+    ]
+}
+
+/// A fleet serving all three models at once: replicated vs partitioned
+/// placement under bursty traffic.
+fn mixed_zoo_study(models: &[timely_nn::Model], config: &TimelyConfig, requests: f64) {
+    let mut table = Table::new(
+        "Serving study - mixed zoo under bursty traffic (3 models, 4 chips, shortest-queue)",
+        &[
+            "sharding",
+            "model",
+            "offered",
+            "done",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "fleet util",
+        ],
+    );
+    // The binding constraint of the partitioned layout: each model's share
+    // of a uniform mix (1/3 of the total) lands on its single home chip, so
+    // drive the total at 2.1x the slowest model's single-chip capacity to
+    // put that model's home chip at ~70% load.
+    let profiles: Vec<timely_sim::ModelProfile> = models
+        .iter()
+        .map(|m| {
+            timely_sim::ModelProfile::for_model(m, config).expect("serving models fit on one chip")
+        })
+        .collect();
+    let base: f64 = profiles
+        .iter()
+        .map(timely_sim::ModelProfile::capacity_rps)
+        .fold(f64::INFINITY, f64::min)
+        * 2.1;
+    let max_latency = profiles.iter().map(|p| p.latency_s).fold(0.0, f64::max);
+    for sharding in [Sharding::Replicate, Sharding::Partition] {
+        let duration_s = (requests / base).max(50.0 * max_latency);
+        let sim = ServingSimulator::new(
+            models,
+            config,
+            SimConfig {
+                seed: SEED,
+                duration_s,
+                chips: 4,
+                policy: Policy::ShortestQueue,
+                sharding,
+            },
+        )
+        .expect("serving models fit on one chip");
+        let report = sim.run(&TrafficSpec {
+            process: ArrivalProcess::Bursty {
+                base_rate: 0.5 * base,
+                burst_rate: 2.0 * base,
+                mean_burst_s: 0.1 * duration_s,
+                mean_quiet_s: 0.2 * duration_s,
+            },
+            mix: ModelMix::uniform(models.len()),
+        });
+        let label = match sharding {
+            Sharding::Replicate => "replicate",
+            Sharding::Partition => "partition",
+        };
+        for stats in &report.per_model {
+            table.row(&[
+                label.to_string(),
+                stats.name.clone(),
+                stats.offered.to_string(),
+                stats.completed.to_string(),
+                format!("{:.3}", stats.latency.p50_ms),
+                format!("{:.3}", stats.latency.p95_ms),
+                format!("{:.3}", stats.latency.p99_ms),
+                format_percent(report.mean_utilization()),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// Verifies the simulator against the closed-form model: at low load the
+/// measured throughput equals the offered rate and the median latency equals
+/// the analytical single-inference latency.
+fn analytical_crosscheck(models: &[timely_nn::Model], config: &TimelyConfig, requests: f64) {
+    let mut table = Table::new(
+        "Serving study - low-load cross-check vs analytical model (1 chip, fifo, 20% load)",
+        &[
+            "model",
+            "analytical inf/s",
+            "sim done/s",
+            "analytical ms",
+            "sim p50 ms",
+            "drift",
+        ],
+    );
+    for model in models {
+        let profile = timely_sim::ModelProfile::for_model(model, config)
+            .expect("serving models fit on one chip");
+        let rate = 0.2 * profile.capacity_rps();
+        let sim = ServingSimulator::new(
+            std::slice::from_ref(model),
+            config,
+            SimConfig {
+                seed: SEED,
+                duration_s: requests / rate,
+                chips: 1,
+                policy: Policy::Fifo,
+                sharding: Sharding::Replicate,
+            },
+        )
+        .expect("serving models fit on one chip");
+        let report = sim.run(&TrafficSpec::poisson(rate, 0));
+        let analytical_ms = profile.latency_s * 1e3;
+        let drift = (report.latency.p50_ms - analytical_ms).abs() / analytical_ms;
+        table.row(&[
+            model.name().to_string(),
+            format!("{:.0}", profile.capacity_rps()),
+            format!("{:.0}", report.throughput_rps),
+            format!("{analytical_ms:.3}"),
+            format!("{:.3}", report.latency.p50_ms),
+            format_percent(drift),
+        ]);
+    }
+    table.print();
+}

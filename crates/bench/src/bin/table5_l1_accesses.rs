@@ -18,16 +18,27 @@ fn main() {
     let conventional =
         ModelMapping::analyze(&vgg, &conventional_cfg).expect("VGG-D maps onto TIMELY");
 
-    let layer_names = ["conv1_1", "conv1_2", "conv2_1", "conv2_2", "conv3_1", "conv3_2"];
+    let layer_names = [
+        "conv1_1", "conv1_2", "conv2_1", "conv2_2", "conv3_1", "conv3_2",
+    ];
     let paper_prime = [1.35, 28.90, 7.23, 14.45, 3.61, 7.23];
     let paper_timely = [0.15, 3.21, 0.80, 1.61, 0.40, 0.80];
 
     let mut table = Table::new(
         "Table V - L1 input-read accesses for VGG-D CONV1-6 (millions)",
-        &["layer", "PRIME-style (paper)", "TIMELY O2IR (paper)", "saving"],
+        &[
+            "layer",
+            "PRIME-style (paper)",
+            "TIMELY O2IR (paper)",
+            "saving",
+        ],
     );
     for (i, name) in layer_names.iter().enumerate() {
-        let prime_reads = conventional.layer(name).expect("layer exists").l1_input_reads as f64 / 1e6;
+        let prime_reads = conventional
+            .layer(name)
+            .expect("layer exists")
+            .l1_input_reads as f64
+            / 1e6;
         let timely_reads = o2ir.layer(name).expect("layer exists").l1_input_reads as f64 / 1e6;
         table.row(&[
             format!("CONV{} ({name})", i + 1),

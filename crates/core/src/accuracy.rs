@@ -83,8 +83,14 @@ impl AccuracyStudy {
             noise: NoiseModel::ideal(),
             seed: self.seed,
         };
-        accuracy_under_noise(model, infer_config, self.noise_model(), self.samples, self.seed)
-            .map_err(ArchError::from)
+        accuracy_under_noise(
+            model,
+            infer_config,
+            self.noise_model(),
+            self.samples,
+            self.seed,
+        )
+        .map_err(ArchError::from)
     }
 }
 
@@ -105,7 +111,11 @@ mod tests {
         let study = AccuracyStudy::from_config(&TimelyConfig::paper_default());
         let noise = study.noise_model();
         // sqrt(12) * 5 ps ~= 17 ps, well under the 50 ps unit delay.
-        assert!(noise.input_sigma_lsb < 0.5, "sigma {}", noise.input_sigma_lsb);
+        assert!(
+            noise.input_sigma_lsb < 0.5,
+            "sigma {}",
+            noise.input_sigma_lsb
+        );
         assert!(!noise.is_ideal());
     }
 
@@ -116,7 +126,9 @@ mod tests {
         // allow a looser bound for the small synthetic-weight network.
         let mut study = AccuracyStudy::from_config(&TimelyConfig::paper_default());
         study.samples = 30;
-        let report = study.run(&zoo::cnn_1(), &TimelyConfig::paper_default()).unwrap();
+        let report = study
+            .run(&zoo::cnn_1(), &TimelyConfig::paper_default())
+            .unwrap();
         assert_eq!(report.samples, 30);
         assert!(
             report.accuracy_loss() <= 0.2,

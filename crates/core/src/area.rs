@@ -103,7 +103,9 @@ mod tests {
     fn chip_area_is_about_91_mm2() {
         // Table II: 106 sub-chips total 91 mm^2.
         let cfg = TimelyConfig::paper_default();
-        let mm2 = AreaBreakdown::for_chip(&cfg).total().as_square_millimeters();
+        let mm2 = AreaBreakdown::for_chip(&cfg)
+            .total()
+            .as_square_millimeters();
         assert!((mm2 - 91.0).abs() < 3.0, "chip area {mm2} mm^2");
     }
 
@@ -116,7 +118,10 @@ mod tests {
         assert!((dtc - 0.142).abs() < 0.01, "DTC fraction {dtc}");
         assert!((tdc - 0.138).abs() < 0.01, "TDC fraction {tdc}");
         assert!((reram - 0.022).abs() < 0.005, "ReRAM fraction {reram}");
-        assert!((charging - 0.142).abs() < 0.01, "charging fraction {charging}");
+        assert!(
+            (charging - 0.142).abs() < 0.01,
+            "charging fraction {charging}"
+        );
         assert!((x - 0.285).abs() < 0.015, "X-subBuf fraction {x}");
         assert!((p - 0.267).abs() < 0.015, "P-subBuf fraction {p}");
     }
@@ -133,8 +138,12 @@ mod tests {
         let mut builder = TimelyConfig::builder();
         let half = builder.subchips_per_chip(53).build().unwrap();
         let full = TimelyConfig::paper_default();
-        let half_area = AreaBreakdown::for_chip(&half).total().as_square_millimeters();
-        let full_area = AreaBreakdown::for_chip(&full).total().as_square_millimeters();
+        let half_area = AreaBreakdown::for_chip(&half)
+            .total()
+            .as_square_millimeters();
+        let full_area = AreaBreakdown::for_chip(&full)
+            .total()
+            .as_square_millimeters();
         assert!((full_area / half_area - 2.0).abs() < 1e-9);
     }
 }

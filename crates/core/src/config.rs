@@ -314,7 +314,10 @@ mod tests {
         assert!(TimelyConfig::builder().gamma(7).build().is_err()); // does not divide 256
         assert!(TimelyConfig::builder().crossbar_size(0).build().is_err());
         assert!(TimelyConfig::builder().chips(0).build().is_err());
-        assert!(TimelyConfig::builder().subchip_geometry(0, 12).build().is_err());
+        assert!(TimelyConfig::builder()
+            .subchip_geometry(0, 12)
+            .build()
+            .is_err());
     }
 
     #[test]

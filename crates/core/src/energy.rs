@@ -94,7 +94,10 @@ impl EnergyBreakdown {
             adc: e(t.adc_conversions, c.adc.energy_per_op),
             x_subbuf: e(t.x_subbuf_accesses, c.x_subbuf.energy_per_op),
             p_subbuf: e(t.p_subbuf_accesses, c.p_subbuf.energy_per_op),
-            crossbar: e(t.crossbar_column_activations, c.reram_crossbar.energy_per_op),
+            crossbar: e(
+                t.crossbar_column_activations,
+                c.reram_crossbar.energy_per_op,
+            ),
             i_adder: e(t.i_adder_ops, c.i_adder.energy_per_op),
             charging: e(t.charging_ops, c.charging_comparator.energy_per_op),
             relu: e(mapping.relu_ops, c.relu.energy_per_op),

@@ -203,7 +203,11 @@ fn layer_counts(
     // layer. With ALBs one fetch feeds a whole sub-chip row (N_CB crossbars);
     // without ALBs every crossbar column re-fetches from L1 (the N_CB× factor
     // of Innovation #1).
-    let alb_factor = if features.analog_local_buffers { 1 } else { n_cb };
+    let alb_factor = if features.analog_local_buffers {
+        1
+    } else {
+        n_cb
+    };
     let l1_input_reads = base_reads * subchip_row_groups * subchip_col_groups * alb_factor;
 
     // --- Analog compute events ----------------------------------------------
@@ -348,8 +352,7 @@ mod tests {
         let vgg = zoo::vgg_d();
         let o2ir = ModelMapping::analyze(&vgg, &o2ir_config()).unwrap();
         let conventional = ModelMapping::analyze(&vgg, &conventional_config()).unwrap();
-        let ratio =
-            conventional.totals.l1_input_reads as f64 / o2ir.totals.l1_input_reads as f64;
+        let ratio = conventional.totals.l1_input_reads as f64 / o2ir.totals.l1_input_reads as f64;
         assert!(ratio > 5.0, "ratio {ratio}");
     }
 
@@ -360,8 +363,8 @@ mod tests {
         let mut cfg = o2ir_config();
         cfg.features.analog_local_buffers = false;
         let without_alb = ModelMapping::analyze(&vgg, &cfg).unwrap();
-        let ratio = without_alb.totals.l1_input_reads as f64
-            / with_alb.totals.l1_input_reads as f64;
+        let ratio =
+            without_alb.totals.l1_input_reads as f64 / with_alb.totals.l1_input_reads as f64;
         assert!(
             (ratio - cfg.subchip_cols as f64).abs() < 0.5,
             "expected ~N_CB x more reads, got {ratio}"
@@ -412,7 +415,11 @@ mod tests {
         let mapping = ModelMapping::analyze(&zoo::vgg_1(), &o2ir_config()).unwrap();
         let sum: u64 = mapping.layers.iter().map(|l| l.l1_input_reads).sum();
         assert_eq!(sum, mapping.totals.l1_input_reads);
-        let sum: u64 = mapping.layers.iter().map(|l| l.crossbar_column_activations).sum();
+        let sum: u64 = mapping
+            .layers
+            .iter()
+            .map(|l| l.crossbar_column_activations)
+            .sum();
         assert_eq!(sum, mapping.totals.crossbar_column_activations);
         assert_eq!(
             mapping.totals.l1_accesses(),

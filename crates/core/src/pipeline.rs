@@ -98,6 +98,14 @@ pub struct LayerSchedule {
     pub cycles: u64,
 }
 
+impl LayerSchedule {
+    /// Wall-clock time this layer's pipeline stage occupies its sub-chips per
+    /// inference, given the chip's pipeline cycle time.
+    pub fn stage_latency(&self, cycle_time: Time) -> Time {
+        cycle_time * self.cycles as f64
+    }
+}
+
 /// Latency and throughput of a model on the configured accelerator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -219,6 +227,30 @@ impl ThroughputReport {
     pub fn bottleneck_cycles(&self) -> u64 {
         self.layers.iter().map(|l| l.cycles).max().unwrap_or(1)
     }
+
+    /// Per-layer stage latencies of the inter-sub-chip layer pipeline, in
+    /// execution order.
+    ///
+    /// In the §IV-E layer pipeline, consecutive layers of one inference run on
+    /// different sub-chips, each occupying its sub-chips for `cycles_l`
+    /// pipeline cycles. Downstream consumers (e.g. the `timely-sim`
+    /// discrete-event simulator) need these wall-clock stage times to model a
+    /// request flowing through the chip rather than re-deriving them from the
+    /// schedule.
+    pub fn stage_latencies(&self) -> Vec<Time> {
+        self.layers
+            .iter()
+            .map(|l| l.stage_latency(self.cycle_time))
+            .collect()
+    }
+
+    /// The steady-state initiation interval of the layer pipeline: the
+    /// wall-clock time of the slowest stage, i.e. the spacing at which the
+    /// chip can accept new inferences (§IV-E). Its reciprocal is
+    /// [`ThroughputReport::inferences_per_second`].
+    pub fn initiation_interval(&self) -> Time {
+        self.cycle_time * self.bottleneck_cycles() as f64
+    }
 }
 
 /// Convenience: energy efficiency of a model evaluation in TOPs/W given its
@@ -309,6 +341,26 @@ mod tests {
         assert!(report.single_inference_latency.as_seconds() > 0.0);
         assert!(report.used_crossbars <= report.available_crossbars);
         assert!(report.bottleneck_cycles() >= 1);
+    }
+
+    #[test]
+    fn stage_latencies_are_consistent_with_the_schedule() {
+        let cfg = TimelyConfig::paper_default();
+        let report = ThroughputReport::for_model(&zoo::vgg_d(), &cfg).unwrap();
+        let stages = report.stage_latencies();
+        assert_eq!(stages.len(), report.layers.len());
+        for (stage, layer) in stages.iter().zip(&report.layers) {
+            let expected = report.cycle_time * layer.cycles as f64;
+            assert!((stage.as_seconds() - expected.as_seconds()).abs() < 1e-15);
+        }
+        // The slowest stage is the initiation interval, and its reciprocal is
+        // the steady-state throughput.
+        let slowest = stages.iter().map(|t| t.as_seconds()).fold(0.0f64, f64::max);
+        let ii = report.initiation_interval().as_seconds();
+        assert!((slowest - ii).abs() < 1e-15);
+        assert!(
+            (1.0 / ii - report.inferences_per_second).abs() / report.inferences_per_second < 1e-9
+        );
     }
 
     #[test]

@@ -310,14 +310,14 @@ impl Layer {
                 Ok(())
             }
             LayerKind::Relu | LayerKind::ElementwiseAdd => Ok(()),
-            LayerKind::Shortcut(spec) => {
-                Layer::conv(self.name.clone(), *spec).validate().map_err(|_| {
-                    invalid("projection shortcut has a degenerate convolution spec")
-                })
-            }
+            LayerKind::Shortcut(spec) => Layer::conv(self.name.clone(), *spec)
+                .validate()
+                .map_err(|_| invalid("projection shortcut has a degenerate convolution spec")),
             LayerKind::Branch(branches) => {
                 if branches.is_empty() {
-                    return Err(invalid("branch layer must contain at least one convolution"));
+                    return Err(invalid(
+                        "branch layer must contain at least one convolution",
+                    ));
                 }
                 for (i, spec) in branches.iter().enumerate() {
                     let sub = Layer::conv(format!("{}#{i}", self.name), *spec);
@@ -351,7 +351,8 @@ impl Layer {
                         found: (c.in_channels, input.height, input.width),
                     });
                 }
-                let out_h = FeatureMap::window_output(input.height, c.kernel_h, c.stride, c.padding);
+                let out_h =
+                    FeatureMap::window_output(input.height, c.kernel_h, c.stride, c.padding);
                 let out_w = FeatureMap::window_output(input.width, c.kernel_w, c.stride, c.padding);
                 match (out_h, out_w) {
                     (Some(h), Some(w)) => Ok(FeatureMap::new(c.out_channels, h, w)),
@@ -480,7 +481,11 @@ impl fmt::Display for Layer {
                 c.out_channels
             ),
             LayerKind::Fc(fc) => {
-                write!(f, "{}: fc {}→{}", self.name, fc.in_features, fc.out_features)
+                write!(
+                    f,
+                    "{}: fc {}→{}",
+                    self.name, fc.in_features, fc.out_features
+                )
             }
             LayerKind::Pool(p) => write!(
                 f,
@@ -633,7 +638,10 @@ mod tests {
         // SqueezeNet fire2 expand stage: 16 -> 64 (1x1) || 64 (3x3), on 55x55.
         let layer = Layer::branch(
             "fire2_expand",
-            vec![ConvSpec::new(16, 64, 1, 1, 0), ConvSpec::new(16, 64, 3, 1, 1)],
+            vec![
+                ConvSpec::new(16, 64, 1, 1, 0),
+                ConvSpec::new(16, 64, 3, 1, 1),
+            ],
         );
         let input = FeatureMap::new(16, 55, 55);
         let out = layer.output_shape(input).unwrap();

@@ -63,7 +63,12 @@ impl FeatureMap {
     ///
     /// Returns `None` if the (padded) input is smaller than the kernel, which
     /// would produce an empty output.
-    pub fn window_output(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    pub fn window_output(
+        input: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Option<usize> {
         debug_assert!(stride > 0, "stride must be nonzero");
         let padded = input + 2 * padding;
         if padded < kernel {

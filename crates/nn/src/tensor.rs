@@ -92,7 +92,10 @@ impl Tensor {
     /// out-of-bounds spatial coordinates (implicit zero padding). Negative
     /// coordinates are expressed by passing `isize` values.
     pub fn get_padded(&self, channel: usize, row: isize, col: isize) -> f32 {
-        if row < 0 || col < 0 || row as usize >= self.shape.height || col as usize >= self.shape.width
+        if row < 0
+            || col < 0
+            || row as usize >= self.shape.height
+            || col as usize >= self.shape.width
         {
             0.0
         } else {

@@ -87,7 +87,9 @@ impl LayerWorkload {
         debug_assert!(crossbar_cols > 0);
         let column_groups = self.output.channels.div_ceil(crossbar_cols).max(1) as u64;
         if self.is_conv {
-            (self.output.height * self.output.width) as u64 * self.filter_len() as u64 * column_groups
+            (self.output.height * self.output.width) as u64
+                * self.filter_len() as u64
+                * column_groups
         } else {
             self.filter_len() as u64 * column_groups
         }
@@ -406,7 +408,7 @@ mod tests {
     fn crossbars_required_scales_with_duplicated_weight_width() {
         let workload = ModelWorkload::analyze(&zoo::vgg_d());
         let conv = workload.conv_layers().nth(1).unwrap(); // conv1_2: 64x3x3 -> 64
-        // 8-bit weights in 4-bit cells: 2 cells per weight.
+                                                           // 8-bit weights in 4-bit cells: 2 cells per weight.
         let xbars_8b = conv.crossbars_required(256, 2);
         let xbars_4b = conv.crossbars_required(256, 1);
         assert!(xbars_8b >= xbars_4b);

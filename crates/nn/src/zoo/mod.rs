@@ -70,6 +70,14 @@ pub fn isaac_benchmarks() -> Vec<Model> {
     ]
 }
 
+/// The default model mix of the serving studies (`timely-sim`): one large
+/// classic CNN (VGG-D), one residual network (ResNet-18), and one compact
+/// model (SqueezeNet). All three fit on a single paper-default chip at 8-bit
+/// precision, so a fleet can either replicate or partition them.
+pub fn serving_benchmarks() -> Vec<Model> {
+    vec![vgg_d(), resnet_18(), squeezenet()]
+}
+
 /// Looks up a benchmark model by its (case-insensitive) name.
 ///
 /// Returns `None` when no benchmark with that name exists.
@@ -107,6 +115,19 @@ mod tests {
     }
 
     #[test]
+    fn serving_benchmarks_are_a_subset_of_the_zoo() {
+        let serving = serving_benchmarks();
+        assert_eq!(serving.len(), 3);
+        for model in &serving {
+            assert!(
+                by_name(model.name()).is_some(),
+                "{} not in zoo",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
     fn every_model_has_positive_macs_and_weights() {
         for model in all_models() {
             let macs = model.total_macs().unwrap();
@@ -118,8 +139,19 @@ mod tests {
     #[test]
     fn imagenet_models_end_in_1000_classes() {
         for name in [
-            "VGG-D", "VGG-1", "VGG-2", "VGG-3", "VGG-4", "MSRA-1", "MSRA-2", "MSRA-3",
-            "ResNet-18", "ResNet-50", "ResNet-101", "ResNet-152", "SqueezeNet",
+            "VGG-D",
+            "VGG-1",
+            "VGG-2",
+            "VGG-3",
+            "VGG-4",
+            "MSRA-1",
+            "MSRA-2",
+            "MSRA-3",
+            "ResNet-18",
+            "ResNet-50",
+            "ResNet-101",
+            "ResNet-152",
+            "SqueezeNet",
         ] {
             let model = by_name(name).unwrap();
             assert_eq!(

@@ -41,7 +41,10 @@ fn resnet_basic(name: &str, blocks_per_stage: [usize; 4]) -> Model {
                     format!("{prefix}_a"),
                     ConvSpec::new(in_channels, channels, 3, stride, 1),
                 )
-                .conv(format!("{prefix}_b"), ConvSpec::new(channels, channels, 3, 1, 1));
+                .conv(
+                    format!("{prefix}_b"),
+                    ConvSpec::new(channels, channels, 3, 1, 1),
+                );
             if needs_projection {
                 builder = builder.layer(crate::layer::Layer::shortcut(
                     format!("{prefix}_proj"),
@@ -54,7 +57,9 @@ fn resnet_basic(name: &str, blocks_per_stage: [usize; 4]) -> Model {
             in_channels = channels;
         }
     }
-    head(builder, in_channels).build().expect("ResNet basic definitions are consistent")
+    head(builder, in_channels)
+        .build()
+        .expect("ResNet basic definitions are consistent")
 }
 
 /// Builds a ResNet with bottleneck (1×1 → 3×3 → 1×1, 4× expansion) blocks.
@@ -70,7 +75,10 @@ fn resnet_bottleneck(name: &str, blocks_per_stage: [usize; 4]) -> Model {
             let prefix = format!("res{}_{}", stage_idx + 2, block + 1);
             let needs_projection = in_channels != out || stride != 1;
             builder = builder
-                .conv_relu(format!("{prefix}_a"), ConvSpec::new(in_channels, mid, 1, 1, 0))
+                .conv_relu(
+                    format!("{prefix}_a"),
+                    ConvSpec::new(in_channels, mid, 1, 1, 0),
+                )
                 .conv_relu(format!("{prefix}_b"), ConvSpec::new(mid, mid, 3, stride, 1))
                 .conv(format!("{prefix}_c"), ConvSpec::new(mid, out, 1, 1, 0));
             if needs_projection {
@@ -148,11 +156,17 @@ mod tests {
     #[test]
     fn final_feature_map_is_512_or_2048_by_7x7() {
         let shapes = resnet_18().layer_shapes().unwrap();
-        let avg_idx = shapes.iter().position(|(l, _, _)| l.name == "avgpool").unwrap();
+        let avg_idx = shapes
+            .iter()
+            .position(|(l, _, _)| l.name == "avgpool")
+            .unwrap();
         assert_eq!(shapes[avg_idx].1, FeatureMap::new(512, 7, 7));
 
         let shapes = resnet_152().layer_shapes().unwrap();
-        let avg_idx = shapes.iter().position(|(l, _, _)| l.name == "avgpool").unwrap();
+        let avg_idx = shapes
+            .iter()
+            .position(|(l, _, _)| l.name == "avgpool")
+            .unwrap();
         assert_eq!(shapes[avg_idx].1, FeatureMap::new(2048, 7, 7));
     }
 

@@ -12,7 +12,13 @@ use crate::shape::FeatureMap;
 
 /// Appends one fire module: squeeze 1×1 to `squeeze` channels, then parallel
 /// 1×1/3×3 expansions to `expand` channels each (output = `2 * expand`).
-fn fire(builder: ModelBuilder, index: usize, in_channels: usize, squeeze: usize, expand: usize) -> ModelBuilder {
+fn fire(
+    builder: ModelBuilder,
+    index: usize,
+    in_channels: usize,
+    squeeze: usize,
+    expand: usize,
+) -> ModelBuilder {
     builder
         .conv_relu(
             format!("fire{index}_squeeze"),
@@ -46,7 +52,8 @@ pub fn squeezenet() -> Model {
     b = b
         .conv_relu("conv10", ConvSpec::new(512, 1000, 1, 1, 0))
         .pool("avgpool", PoolSpec::average(13, 13));
-    b.build().expect("SqueezeNet definition is internally consistent")
+    b.build()
+        .expect("SqueezeNet definition is internally consistent")
 }
 
 #[cfg(test)]
@@ -69,7 +76,10 @@ mod tests {
     fn squeezenet_is_the_smallest_imagenet_benchmark() {
         let sq = squeezenet().total_weights();
         let vgg = crate::zoo::vgg_d().total_weights();
-        assert!(sq * 50 < vgg, "SqueezeNet has 50x fewer parameters than VGG");
+        assert!(
+            sq * 50 < vgg,
+            "SqueezeNet has 50x fewer parameters than VGG"
+        );
     }
 
     #[test]

@@ -49,7 +49,13 @@ fn vgg_from_blocks(name: &str, blocks: &[Block]) -> Model {
 pub fn vgg_d() -> Model {
     vgg_from_blocks(
         "VGG-D",
-        &[(2, 0, 64), (2, 0, 128), (3, 0, 256), (3, 0, 512), (3, 0, 512)],
+        &[
+            (2, 0, 64),
+            (2, 0, 128),
+            (3, 0, 256),
+            (3, 0, 512),
+            (3, 0, 512),
+        ],
     )
 }
 
@@ -57,7 +63,13 @@ pub fn vgg_d() -> Model {
 pub fn vgg_1() -> Model {
     vgg_from_blocks(
         "VGG-1",
-        &[(1, 0, 64), (1, 0, 128), (2, 0, 256), (2, 0, 512), (2, 0, 512)],
+        &[
+            (1, 0, 64),
+            (1, 0, 128),
+            (2, 0, 256),
+            (2, 0, 512),
+            (2, 0, 512),
+        ],
     )
 }
 
@@ -65,7 +77,13 @@ pub fn vgg_1() -> Model {
 pub fn vgg_2() -> Model {
     vgg_from_blocks(
         "VGG-2",
-        &[(2, 0, 64), (2, 0, 128), (2, 0, 256), (2, 0, 512), (2, 0, 512)],
+        &[
+            (2, 0, 64),
+            (2, 0, 128),
+            (2, 0, 256),
+            (2, 0, 512),
+            (2, 0, 512),
+        ],
     )
 }
 
@@ -74,7 +92,13 @@ pub fn vgg_2() -> Model {
 pub fn vgg_3() -> Model {
     vgg_from_blocks(
         "VGG-3",
-        &[(2, 0, 64), (2, 0, 128), (2, 1, 256), (2, 1, 512), (2, 1, 512)],
+        &[
+            (2, 0, 64),
+            (2, 0, 128),
+            (2, 1, 256),
+            (2, 1, 512),
+            (2, 1, 512),
+        ],
     )
 }
 
@@ -82,7 +106,13 @@ pub fn vgg_3() -> Model {
 pub fn vgg_4() -> Model {
     vgg_from_blocks(
         "VGG-4",
-        &[(2, 0, 64), (2, 0, 128), (4, 0, 256), (4, 0, 512), (4, 0, 512)],
+        &[
+            (2, 0, 64),
+            (2, 0, 128),
+            (4, 0, 256),
+            (4, 0, 512),
+            (4, 0, 512),
+        ],
     )
 }
 
@@ -123,9 +153,10 @@ mod tests {
     #[test]
     fn vgg_3_has_one_by_one_convolutions() {
         let model = vgg_3();
-        let has_1x1 = model.layers().iter().any(|l| {
-            matches!(l.kind, LayerKind::Conv(c) if c.kernel_h == 1 && c.kernel_w == 1)
-        });
+        let has_1x1 = model
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv(c) if c.kernel_h == 1 && c.kernel_w == 1));
         assert!(has_1x1);
     }
 
@@ -138,7 +169,12 @@ mod tests {
                 .iter()
                 .position(|(l, _, _)| l.name == "fc6")
                 .expect("fc6 exists");
-            assert_eq!(shapes[fc6_idx].1, FeatureMap::new(512, 7, 7), "{}", model.name());
+            assert_eq!(
+                shapes[fc6_idx].1,
+                FeatureMap::new(512, 7, 7),
+                "{}",
+                model.name()
+            );
         }
     }
 }

@@ -1,0 +1,737 @@
+//! The serving simulator: a fleet of TIMELY chips under generated traffic.
+//!
+//! Each simulated chip serves inference requests through the §IV-E layer
+//! pipeline, abstracted by two numbers per model taken from `timely-core`'s
+//! analytical schedule: the *initiation interval* (the slowest stage's
+//! wall-clock time — how often the pipeline accepts a new inference) and the
+//! *single-inference latency* (the time one request spends flowing through
+//! all stages). A request issued at `t` therefore completes at
+//! `t + latency`, and the next request can issue no earlier than `t + II`.
+//! Energy per request comes from the per-inference [`EnergyBreakdown`].
+//!
+//! [`EnergyBreakdown`]: timely_core::EnergyBreakdown
+
+use crate::event::EventQueue;
+use crate::scheduler::{FleetLayout, Policy, Router, Sharding};
+use crate::stats::{ChipStats, LatencyStats, ModelStats, SimReport};
+use crate::traffic::{ArrivalProcess, OpenLoopSource, TrafficSpec};
+use rand::distributions::{Distribution, Exp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use timely_core::{ArchError, EnergyBreakdown, ModelMapping, ThroughputReport, TimelyConfig};
+use timely_nn::Model;
+
+/// The serving-relevant profile of one model on one TIMELY chip, derived from
+/// the analytical pipeline schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// Steady-state initiation interval of the layer pipeline, in seconds.
+    pub initiation_interval_s: f64,
+    /// End-to-end latency of one unqueued inference, in seconds.
+    pub latency_s: f64,
+    /// Energy of one inference, in millijoules.
+    pub energy_mj: f64,
+}
+
+impl ModelProfile {
+    /// Profiles `model` on a single chip of the given configuration.
+    ///
+    /// The fleet simulator treats each simulated chip as one TIMELY chip, so
+    /// the configuration's `chips` field is forced to 1 here; fleet scale
+    /// comes from [`SimConfig::chips`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/scheduling errors (invalid configuration, model too
+    /// large for one chip).
+    pub fn for_model(model: &Model, config: &TimelyConfig) -> Result<Self, ArchError> {
+        let mut per_chip = config.clone();
+        per_chip.chips = 1;
+        let report = ThroughputReport::for_model(model, &per_chip)?;
+        let mapping = ModelMapping::analyze(model, &per_chip)?;
+        let energy = EnergyBreakdown::for_mapping(&mapping, &per_chip);
+        Ok(Self {
+            name: model.name().to_string(),
+            initiation_interval_s: report.initiation_interval().as_seconds(),
+            latency_s: report.single_inference_latency.as_seconds(),
+            energy_mj: energy.total().as_millijoules(),
+        })
+    }
+
+    /// The chip's maximum sustainable request rate for this model, in
+    /// requests per second.
+    pub fn capacity_rps(&self) -> f64 {
+        1.0 / self.initiation_interval_s
+    }
+
+    /// Closed-loop clients needed to drive one chip at saturation: the
+    /// pipeline holds `latency / II` requests in flight, doubled for slack
+    /// so completions always find another request waiting.
+    pub fn saturating_clients(&self) -> usize {
+        (self.latency_s / self.initiation_interval_s).ceil() as usize * 2
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed of the run's single RNG; everything else is deterministic.
+    pub seed: u64,
+    /// Simulated horizon in seconds. Arrivals stop and measurement ends at
+    /// this time; requests still in the system are reported as backlog.
+    pub duration_s: f64,
+    /// Number of simulated chips in the fleet.
+    pub chips: usize,
+    /// Dispatch policy.
+    pub policy: Policy,
+    /// Model placement across the fleet.
+    pub sharding: Sharding,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            duration_s: 1.0,
+            chips: 1,
+            policy: Policy::Fifo,
+            sharding: Sharding::Replicate,
+        }
+    }
+}
+
+/// One in-flight or queued request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    model: usize,
+    arrival_s: f64,
+    /// Closed-loop client that issued the request; `usize::MAX` for open loop.
+    client: usize,
+}
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A request enters the system (open loop: also schedules its successor).
+    Arrival(Request),
+    /// A chip's batching window expired; `epoch` guards against stale
+    /// deadlines from already-flushed batches.
+    BatchDeadline { chip: usize, epoch: u64 },
+    /// A chip's pipeline has a free issue slot.
+    ChipFree { chip: usize },
+    /// A request leaves a chip's pipeline.
+    Completion { chip: usize, request: Request },
+}
+
+/// Per-chip mutable simulation state.
+#[derive(Debug, Clone, Default)]
+struct ChipState {
+    /// Requests ready to issue, in dispatch order.
+    run_queue: VecDeque<Request>,
+    /// Requests held back by the batching window.
+    batch: Vec<Request>,
+    /// Monotone counter distinguishing batch generations.
+    batch_epoch: u64,
+    /// Earliest time the pipeline can accept the next request.
+    next_free_s: f64,
+    /// Whether a `ChipFree` wake-up is already scheduled.
+    wake_pending: bool,
+    /// Accumulated pipeline occupancy (sum of initiation intervals issued).
+    busy_s: f64,
+    issued: u64,
+    energy_mj: f64,
+}
+
+impl ChipState {
+    fn queued(&self) -> usize {
+        self.run_queue.len() + self.batch.len()
+    }
+}
+
+/// A fleet of simulated TIMELY chips serving a model zoo.
+#[derive(Debug, Clone)]
+pub struct ServingSimulator {
+    profiles: Vec<ModelProfile>,
+    layout: FleetLayout,
+    config: SimConfig,
+}
+
+impl ServingSimulator {
+    /// Builds a simulator for `models` on a fleet of [`SimConfig::chips`]
+    /// chips of the given per-chip configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors for any model that cannot be scheduled on
+    /// a single chip.
+    pub fn new(
+        models: &[Model],
+        chip_config: &TimelyConfig,
+        config: SimConfig,
+    ) -> Result<Self, ArchError> {
+        assert!(!models.is_empty(), "simulator needs at least one model");
+        assert!(
+            config.duration_s > 0.0 && config.duration_s.is_finite(),
+            "duration must be > 0"
+        );
+        config.policy.validate();
+        let profiles = models
+            .iter()
+            .map(|m| ModelProfile::for_model(m, chip_config))
+            .collect::<Result<Vec<_>, _>>()?;
+        let layout = FleetLayout::build(profiles.len(), config.chips, config.sharding);
+        Ok(Self {
+            profiles,
+            layout,
+            config,
+        })
+    }
+
+    /// The per-model serving profiles, in model order.
+    pub fn profiles(&self) -> &[ModelProfile] {
+        &self.profiles
+    }
+
+    /// The model placement across the fleet.
+    pub fn layout(&self) -> &FleetLayout {
+        &self.layout
+    }
+
+    /// Aggregate fleet capacity for model `m` in requests per second: the
+    /// per-chip rate times the number of hosting chips.
+    pub fn fleet_capacity_rps(&self, model: usize) -> f64 {
+        self.profiles[model].capacity_rps() * self.layout.hosts(model).len() as f64
+    }
+
+    /// Runs the simulation under the given traffic and returns the report.
+    ///
+    /// Runs are deterministic: the same simulator, traffic, and
+    /// [`SimConfig::seed`] always produce an identical [`SimReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traffic mix references a model index outside the fleet's
+    /// model list, or if the arrival process parameters are invalid.
+    pub fn run(&self, traffic: &TrafficSpec) -> SimReport {
+        traffic.process.validate();
+        assert!(
+            traffic.mix.max_model_index() < self.profiles.len(),
+            "traffic mix references model {} but the fleet only has {}",
+            traffic.mix.max_model_index(),
+            self.profiles.len()
+        );
+        Run::new(self, traffic).execute()
+    }
+}
+
+/// The mutable state of one simulation run.
+struct Run<'a> {
+    sim: &'a ServingSimulator,
+    traffic: &'a TrafficSpec,
+    rng: StdRng,
+    events: EventQueue<Event>,
+    chips: Vec<ChipState>,
+    router: Router,
+    open_source: Option<OpenLoopSource>,
+    horizon_s: f64,
+    now_s: f64,
+    // Measurement accumulators.
+    offered: u64,
+    offered_per_model: Vec<u64>,
+    latencies_per_model: Vec<Vec<f64>>,
+    queue_area: f64,
+    last_event_s: f64,
+    max_queue_depth: u64,
+}
+
+impl<'a> Run<'a> {
+    fn new(sim: &'a ServingSimulator, traffic: &'a TrafficSpec) -> Self {
+        let models = sim.profiles.len();
+        Self {
+            sim,
+            traffic,
+            rng: StdRng::seed_from_u64(sim.config.seed),
+            events: EventQueue::new(),
+            chips: vec![ChipState::default(); sim.config.chips],
+            router: Router::new(models),
+            open_source: OpenLoopSource::new(traffic.process),
+            horizon_s: sim.config.duration_s,
+            now_s: 0.0,
+            offered: 0,
+            offered_per_model: vec![0; models],
+            latencies_per_model: vec![Vec::new(); models],
+            queue_area: 0.0,
+            last_event_s: 0.0,
+            max_queue_depth: 0,
+        }
+    }
+
+    fn execute(mut self) -> SimReport {
+        self.seed_arrivals();
+        while let Some((t, event)) = self.events.pop() {
+            if t > self.horizon_s {
+                break;
+            }
+            self.advance_clock(t);
+            match event {
+                Event::Arrival(request) => self.on_arrival(request),
+                Event::BatchDeadline { chip, epoch } => self.on_batch_deadline(chip, epoch),
+                Event::ChipFree { chip } => {
+                    self.chips[chip].wake_pending = false;
+                    self.try_issue(chip);
+                }
+                Event::Completion { chip, request } => self.on_completion(chip, request),
+            }
+        }
+        self.advance_clock(self.horizon_s);
+        self.report()
+    }
+
+    /// Schedules the first arrival(s) of the traffic process.
+    fn seed_arrivals(&mut self) {
+        match self.traffic.process {
+            ArrivalProcess::Poisson { .. } | ArrivalProcess::Bursty { .. } => {
+                let t = self
+                    .open_source
+                    .as_mut()
+                    .expect("open-loop process has a source")
+                    .next_arrival(0.0, &mut self.rng);
+                let model = self.traffic.mix.sample(&mut self.rng);
+                self.events.push(
+                    t,
+                    Event::Arrival(Request {
+                        model,
+                        arrival_s: t,
+                        client: usize::MAX,
+                    }),
+                );
+            }
+            ArrivalProcess::ClosedLoop { clients, .. } => {
+                for client in 0..clients {
+                    let model = self.traffic.mix.sample(&mut self.rng);
+                    self.events.push(
+                        0.0,
+                        Event::Arrival(Request {
+                            model,
+                            arrival_s: 0.0,
+                            client,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Integrates the queue-depth curve up to `t` and moves the clock.
+    fn advance_clock(&mut self, t: f64) {
+        let depth: usize = self.chips.iter().map(ChipState::queued).sum();
+        self.queue_area += depth as f64 * (t - self.last_event_s);
+        self.last_event_s = t;
+        self.now_s = t;
+    }
+
+    fn on_arrival(&mut self, request: Request) {
+        self.offered += 1;
+        self.offered_per_model[request.model] += 1;
+
+        // Open loop: schedule the successor before dispatching, so the RNG
+        // consumption order is independent of fleet state.
+        if let Some(source) = self.open_source.as_mut() {
+            let t = source.next_arrival(self.now_s, &mut self.rng);
+            let model = self.traffic.mix.sample(&mut self.rng);
+            if t <= self.horizon_s {
+                self.events.push(
+                    t,
+                    Event::Arrival(Request {
+                        model,
+                        arrival_s: t,
+                        client: usize::MAX,
+                    }),
+                );
+            }
+        }
+
+        // Join-the-shortest-queue counts outstanding work, not just waiting
+        // requests: a chip whose pipeline slot is occupied ranks behind an
+        // idle one even when both have empty queues.
+        let chips = &self.chips;
+        let now = self.now_s;
+        let chip = self.router.route(
+            request.model,
+            &self.sim.layout,
+            self.sim.config.policy,
+            |c| chips[c].queued() + usize::from(chips[c].next_free_s > now),
+        );
+        match self.sim.config.policy {
+            Policy::Fifo | Policy::ShortestQueue => {
+                self.chips[chip].run_queue.push_back(request);
+                self.note_queue_depth();
+                self.try_issue(chip);
+            }
+            Policy::Batched {
+                window_s,
+                max_batch,
+            } => {
+                self.chips[chip].batch.push(request);
+                self.note_queue_depth();
+                if self.chips[chip].batch.len() >= max_batch {
+                    self.flush_batch(chip);
+                } else if self.chips[chip].batch.len() == 1 {
+                    let epoch = self.chips[chip].batch_epoch;
+                    self.events
+                        .push(self.now_s + window_s, Event::BatchDeadline { chip, epoch });
+                }
+            }
+        }
+    }
+
+    fn on_batch_deadline(&mut self, chip: usize, epoch: u64) {
+        // A stale deadline from a batch that already flushed on size.
+        if self.chips[chip].batch_epoch != epoch || self.chips[chip].batch.is_empty() {
+            return;
+        }
+        self.flush_batch(chip);
+    }
+
+    /// Moves a chip's pending batch into its run queue and starts issuing.
+    fn flush_batch(&mut self, chip: usize) {
+        let state = &mut self.chips[chip];
+        state.batch_epoch += 1;
+        let batch = std::mem::take(&mut state.batch);
+        state.run_queue.extend(batch);
+        self.try_issue(chip);
+    }
+
+    /// Issues queued requests into the chip's pipeline while it has free
+    /// slots; schedules a wake-up at the next free slot otherwise.
+    fn try_issue(&mut self, chip: usize) {
+        loop {
+            let state = &mut self.chips[chip];
+            if state.run_queue.is_empty() {
+                return;
+            }
+            if state.next_free_s > self.now_s {
+                if !state.wake_pending {
+                    state.wake_pending = true;
+                    self.events
+                        .push(state.next_free_s, Event::ChipFree { chip });
+                }
+                return;
+            }
+            let request = state.run_queue.pop_front().expect("queue is non-empty");
+            let profile = &self.sim.profiles[request.model];
+            state.next_free_s = self.now_s + profile.initiation_interval_s;
+            state.busy_s += profile.initiation_interval_s;
+            state.issued += 1;
+            state.energy_mj += profile.energy_mj;
+            self.events.push(
+                self.now_s + profile.latency_s,
+                Event::Completion { chip, request },
+            );
+        }
+    }
+
+    fn on_completion(&mut self, _chip: usize, request: Request) {
+        self.latencies_per_model[request.model].push(self.now_s - request.arrival_s);
+
+        // Closed loop: the client thinks, then issues its next request.
+        if request.client != usize::MAX {
+            if let ArrivalProcess::ClosedLoop { think_time_s, .. } = self.traffic.process {
+                let think = if think_time_s > 0.0 {
+                    Exp::new(1.0 / think_time_s).sample(&mut self.rng)
+                } else {
+                    0.0
+                };
+                let t = self.now_s + think;
+                if t <= self.horizon_s {
+                    let model = self.traffic.mix.sample(&mut self.rng);
+                    self.events.push(
+                        t,
+                        Event::Arrival(Request {
+                            model,
+                            arrival_s: t,
+                            client: request.client,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn note_queue_depth(&mut self) {
+        let depth: usize = self.chips.iter().map(ChipState::queued).sum();
+        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
+    }
+
+    fn report(self) -> SimReport {
+        let horizon = self.horizon_s;
+        let mut all_latencies: Vec<f64> = Vec::new();
+        let per_model: Vec<ModelStats> = self
+            .sim
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(m, profile)| {
+                let samples = &self.latencies_per_model[m];
+                all_latencies.extend_from_slice(samples);
+                ModelStats {
+                    name: profile.name.clone(),
+                    offered: self.offered_per_model[m],
+                    completed: samples.len() as u64,
+                    latency: LatencyStats::from_samples_s(samples),
+                    energy_mj_per_request: profile.energy_mj,
+                }
+            })
+            .collect();
+        let completed = all_latencies.len() as u64;
+        let chips: Vec<ChipStats> = self
+            .chips
+            .iter()
+            .map(|c| ChipStats {
+                utilization: (c.busy_s / horizon).min(1.0),
+                issued: c.issued,
+                energy_mj: c.energy_mj,
+            })
+            .collect();
+        let total_energy_mj: f64 = chips.iter().map(|c| c.energy_mj).sum();
+        let backlog = self.offered - completed;
+        SimReport {
+            duration_s: horizon,
+            offered: self.offered,
+            completed,
+            backlog,
+            throughput_rps: completed as f64 / horizon,
+            latency: LatencyStats::from_samples_s(&all_latencies),
+            per_model,
+            chips,
+            mean_queue_depth: self.queue_area / horizon,
+            max_queue_depth: self.max_queue_depth,
+            total_energy_mj,
+            energy_mj_per_request: if completed > 0 {
+                total_energy_mj / completed as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::ModelMix;
+    use timely_nn::zoo;
+
+    fn profile_cnn_1() -> ModelProfile {
+        ModelProfile::for_model(&zoo::cnn_1(), &TimelyConfig::paper_default()).unwrap()
+    }
+
+    fn small_fleet(chips: usize, policy: Policy, duration_s: f64) -> ServingSimulator {
+        ServingSimulator::new(
+            &[zoo::cnn_1()],
+            &TimelyConfig::paper_default(),
+            SimConfig {
+                seed: 42,
+                duration_s,
+                chips,
+                policy,
+                sharding: Sharding::Replicate,
+            },
+        )
+        .expect("CNN-1 fits on one chip")
+    }
+
+    #[test]
+    fn profiles_match_the_analytical_schedule() {
+        let sim = small_fleet(1, Policy::Fifo, 1.0);
+        let profile = &sim.profiles()[0];
+        let mut cfg = TimelyConfig::paper_default();
+        cfg.chips = 1;
+        let report = ThroughputReport::for_model(&zoo::cnn_1(), &cfg).unwrap();
+        assert!(
+            (profile.capacity_rps() - report.inferences_per_second).abs()
+                / report.inferences_per_second
+                < 1e-9
+        );
+        assert!(profile.latency_s >= profile.initiation_interval_s);
+        assert!(profile.energy_mj > 0.0);
+    }
+
+    #[test]
+    fn low_load_latency_is_the_unqueued_latency() {
+        let profile = profile_cnn_1();
+        let rate = 0.05 * profile.capacity_rps();
+        let duration = 500.0 / rate; // ~500 arrivals
+        let sim = small_fleet(1, Policy::Fifo, duration);
+        let report = sim.run(&TrafficSpec::poisson(rate, 0));
+        assert!(report.completed > 100, "completed {}", report.completed);
+        let expected_ms = profile.latency_s * 1e3;
+        // At 5% load queueing is negligible: p50 equals the service latency.
+        assert!(
+            (report.latency.p50_ms - expected_ms).abs() / expected_ms < 0.02,
+            "p50 {} vs unqueued {}",
+            report.latency.p50_ms,
+            expected_ms
+        );
+        assert!(report.latency.p50_ms <= report.latency.p99_ms);
+    }
+
+    #[test]
+    fn saturated_closed_loop_throughput_matches_capacity() {
+        let profile = profile_cnn_1();
+        let duration = 2_000.0 * profile.initiation_interval_s; // ~2000 completions
+        let sim = small_fleet(1, Policy::Fifo, duration);
+        let report = sim.run(&TrafficSpec {
+            process: ArrivalProcess::ClosedLoop {
+                clients: profile.saturating_clients(),
+                think_time_s: 0.0,
+            },
+            mix: ModelMix::single(0),
+        });
+        let capacity = sim.fleet_capacity_rps(0);
+        assert!(
+            (report.throughput_rps - capacity).abs() / capacity < 0.05,
+            "throughput {} vs capacity {}",
+            report.throughput_rps,
+            capacity
+        );
+        assert!(report.mean_utilization() > 0.95);
+    }
+
+    #[test]
+    fn two_replicated_chips_double_saturated_throughput() {
+        let profile = profile_cnn_1();
+        let duration = 1_000.0 * profile.initiation_interval_s;
+        let clients = profile.saturating_clients() * 2;
+        let run = |chips: usize| {
+            let sim = small_fleet(chips, Policy::ShortestQueue, duration);
+            sim.run(&TrafficSpec {
+                process: ArrivalProcess::ClosedLoop {
+                    clients,
+                    think_time_s: 0.0,
+                },
+                mix: ModelMix::single(0),
+            })
+            .throughput_rps
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!((two / one - 2.0).abs() < 0.1, "scaling {}", two / one);
+    }
+
+    #[test]
+    fn overload_builds_backlog_and_inflates_tail_latency() {
+        let profile = profile_cnn_1();
+        let duration = 1_000.0 * profile.initiation_interval_s;
+        let sim = small_fleet(1, Policy::Fifo, duration);
+        let capacity = sim.fleet_capacity_rps(0);
+        let light = sim.run(&TrafficSpec::poisson(0.2 * capacity, 0));
+        let heavy = sim.run(&TrafficSpec::poisson(3.0 * capacity, 0));
+        assert!(heavy.backlog > light.backlog);
+        assert!(heavy.latency.p99_ms > light.latency.p99_ms);
+        assert!(heavy.mean_queue_depth > light.mean_queue_depth);
+        assert!(heavy.max_queue_depth >= heavy.mean_queue_depth as u64);
+    }
+
+    #[test]
+    fn batching_adds_at_most_the_window_to_waiting() {
+        let profile = profile_cnn_1();
+        let window_s = 50.0 * profile.initiation_interval_s;
+        let rate = 0.5 * profile.capacity_rps();
+        let duration = 500.0 / rate;
+        let sim = small_fleet(
+            1,
+            Policy::Batched {
+                window_s,
+                max_batch: 4,
+            },
+            duration,
+        );
+        let report = sim.run(&TrafficSpec::poisson(rate, 0));
+        assert!(report.completed > 100);
+        // Batched requests wait in the window on top of service latency, so
+        // the median sits at or above the unqueued latency.
+        let unqueued_ms = profile.latency_s * 1e3;
+        assert!(report.latency.p50_ms >= unqueued_ms);
+        assert!(report.latency.max_ms >= report.latency.p99_ms);
+        // Accounting identity: everything offered either completed or is
+        // still in the system at the horizon.
+        assert_eq!(report.offered, report.completed + report.backlog);
+    }
+
+    #[test]
+    fn partition_sends_each_model_to_its_home_chip() {
+        let sim = ServingSimulator::new(
+            &[zoo::cnn_1(), zoo::mlp_l()],
+            &TimelyConfig::paper_default(),
+            SimConfig {
+                seed: 7,
+                duration_s: 0.05,
+                chips: 2,
+                policy: Policy::Fifo,
+                sharding: Sharding::Partition,
+            },
+        )
+        .unwrap();
+        let report = sim.run(&TrafficSpec {
+            process: ArrivalProcess::Poisson { rate: 2000.0 },
+            mix: ModelMix::uniform(2),
+        });
+        // Both chips saw work, and issue counts equal per-model completions
+        // plus whatever is still in flight.
+        assert!(report.chips[0].issued > 0);
+        assert!(report.chips[1].issued > 0);
+        assert_eq!(report.per_model.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_exact_report() {
+        let profile = profile_cnn_1();
+        let cap = profile.capacity_rps();
+        let duration = 500.0 / cap;
+        let sim = small_fleet(2, Policy::ShortestQueue, duration);
+        let traffic = TrafficSpec {
+            process: ArrivalProcess::Bursty {
+                base_rate: 0.3 * cap,
+                burst_rate: 3.0 * cap,
+                mean_burst_s: 20.0 * profile.initiation_interval_s,
+                mean_quiet_s: 50.0 * profile.initiation_interval_s,
+            },
+            mix: ModelMix::single(0),
+        };
+        let a = sim.run(&traffic);
+        let b = sim.run(&traffic);
+        assert_eq!(a, b);
+        assert!(a.completed > 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let profile = profile_cnn_1();
+        let rate = 0.5 * profile.capacity_rps();
+        let mut sim = small_fleet(1, Policy::Fifo, 500.0 / rate);
+        let traffic = TrafficSpec::poisson(rate, 0);
+        let a = sim.run(&traffic);
+        sim.config.seed = 43;
+        let b = sim.run(&traffic);
+        assert_ne!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn energy_accounting_is_per_completed_request() {
+        let profile = profile_cnn_1();
+        let rate = 0.3 * profile.capacity_rps();
+        let sim = small_fleet(1, Policy::Fifo, 500.0 / rate);
+        let report = sim.run(&TrafficSpec::poisson(rate, 0));
+        let per_req = sim.profiles()[0].energy_mj;
+        // The fleet's total energy counts *issued* requests; per-request
+        // energy divides by completions, so it is >= the profile value.
+        assert!(report.energy_mj_per_request >= per_req * 0.999);
+        let issued: u64 = report.chips.iter().map(|c| c.issued).sum();
+        assert!((report.total_energy_mj - issued as f64 * per_req).abs() < 1e-9 * issued as f64);
+    }
+}

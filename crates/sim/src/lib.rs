@@ -1,0 +1,70 @@
+//! `timely-sim` — a deterministic discrete-event serving simulator for the
+//! TIMELY reproduction.
+//!
+//! The closed-form models in `timely-core` answer *steady-state* questions
+//! (Table IV peak numbers, Fig. 8 throughput). This crate answers *serving*
+//! questions: what latency distribution a fleet of TIMELY chips delivers
+//! under bursty traffic, how batching interacts with the §IV-E layer
+//! pipeline, and how many chips a model zoo needs to hold a p99 target.
+//!
+//! Four modules compose the simulator:
+//!
+//! * [`event`] — the deterministic event-queue core (binary heap of
+//!   timestamped events, FIFO tie-breaking, no wall clock anywhere);
+//! * [`traffic`] — arrival processes (open-loop Poisson, bursty
+//!   Markov-modulated, closed-loop clients) and weighted model-zoo mixes;
+//! * [`scheduler`] — dispatch policies (FIFO, batching windows,
+//!   join-the-shortest-queue) and multi-chip sharding (replicate/partition);
+//! * [`stats`] — latency percentiles (p50/p95/p99), utilization, queue
+//!   depths, and energy per request, all serde-serializable.
+//!
+//! The physics comes from `timely-core`: each model's initiation interval,
+//! single-inference latency, and energy per inference are taken from the
+//! analytical [`ThroughputReport`](timely_core::ThroughputReport) /
+//! [`EnergyBreakdown`](timely_core::EnergyBreakdown), so at low load the
+//! simulator reproduces the closed-form numbers and under load it adds the
+//! queueing behavior the formulas cannot express.
+//!
+//! # Example
+//!
+//! ```
+//! use timely_core::TimelyConfig;
+//! use timely_nn::zoo;
+//! use timely_sim::{
+//!     ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, TrafficSpec,
+//! };
+//!
+//! let sim = ServingSimulator::new(
+//!     &[zoo::cnn_1()],
+//!     &TimelyConfig::paper_default(),
+//!     SimConfig {
+//!         seed: 1,
+//!         duration_s: 0.01,
+//!         chips: 2,
+//!         policy: Policy::ShortestQueue,
+//!         sharding: Sharding::Replicate,
+//!     },
+//! )?;
+//! let rate = 0.5 * sim.fleet_capacity_rps(0);
+//! let report = sim.run(&TrafficSpec {
+//!     process: ArrivalProcess::Poisson { rate },
+//!     mix: ModelMix::single(0),
+//! });
+//! assert!(report.latency.p50_ms <= report.latency.p99_ms);
+//! # Ok::<(), timely_core::ArchError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod event;
+pub mod scheduler;
+pub mod stats;
+pub mod traffic;
+
+pub use engine::{ModelProfile, ServingSimulator, SimConfig};
+pub use event::EventQueue;
+pub use scheduler::{FleetLayout, Policy, Sharding};
+pub use stats::{ChipStats, LatencyStats, ModelStats, SimReport};
+pub use traffic::{ArrivalProcess, ModelMix, TrafficSpec};

@@ -1,0 +1,216 @@
+//! Request scheduling: dispatch policies and multi-chip sharding.
+//!
+//! The scheduler decides two things: *where* an arriving request goes (which
+//! simulated chip, constrained by which chips host the requested model) and
+//! *when* a queued request is issued into its chip's layer pipeline (FIFO
+//! immediately, or held back by a batching window).
+
+use serde::{Deserialize, Serialize};
+
+/// How queued requests are dispatched into a chip's pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Issue each request as soon as the pipeline can accept it; route
+    /// round-robin across the replicas hosting the model.
+    Fifo,
+    /// Collect requests into batches: a batch is dispatched when it reaches
+    /// `max_batch` requests or `window_s` seconds after its first request,
+    /// whichever comes first. Routing is round-robin. Batching trades queueing
+    /// delay for back-to-back pipeline occupancy — with TIMELY's layer
+    /// pipeline a batch streams through at one initiation interval per
+    /// request with a single pipeline fill.
+    Batched {
+        /// Maximum time the first request of a batch waits, in seconds.
+        window_s: f64,
+        /// Dispatch as soon as this many requests are pending.
+        max_batch: usize,
+    },
+    /// Issue immediately like FIFO, but route each request to the hosting
+    /// replica with the fewest queued requests (join-the-shortest-queue).
+    ShortestQueue,
+}
+
+impl Policy {
+    /// Validates policy parameters.
+    pub(crate) fn validate(&self) {
+        if let Policy::Batched {
+            window_s,
+            max_batch,
+        } = *self
+        {
+            assert!(
+                window_s >= 0.0 && window_s.is_finite(),
+                "batch window must be >= 0"
+            );
+            assert!(max_batch > 0, "max_batch must be > 0");
+        }
+    }
+
+    /// A short human-readable label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::Fifo => "fifo".to_string(),
+            Policy::Batched { max_batch, .. } => format!("batch{max_batch}"),
+            Policy::ShortestQueue => "shortest-q".to_string(),
+        }
+    }
+}
+
+/// How models are placed across the fleet of simulated chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sharding {
+    /// Every chip holds every model's weights; any chip can serve any
+    /// request. Maximizes routing freedom at the cost of per-chip crossbar
+    /// capacity.
+    Replicate,
+    /// Model `m` lives only on chip `m mod chips`; requests for a model must
+    /// go to its home chip. Minimizes per-chip weight footprint (a model-zoo
+    /// deployment where the zoo does not fit on one chip).
+    Partition,
+}
+
+/// The placement of models onto chips implied by a [`Sharding`] strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetLayout {
+    /// `hosts[m]` lists the chips (by index) that hold model `m`, ascending.
+    hosts: Vec<Vec<usize>>,
+    chips: usize,
+}
+
+impl FleetLayout {
+    /// Builds the layout for `models` models over `chips` chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` or `chips` is zero.
+    pub fn build(models: usize, chips: usize, sharding: Sharding) -> Self {
+        assert!(models > 0, "fleet needs at least one model");
+        assert!(chips > 0, "fleet needs at least one chip");
+        let hosts = match sharding {
+            Sharding::Replicate => (0..models).map(|_| (0..chips).collect()).collect(),
+            Sharding::Partition => (0..models).map(|m| vec![m % chips]).collect(),
+        };
+        Self { hosts, chips }
+    }
+
+    /// The chips hosting model `m`.
+    pub fn hosts(&self, model: usize) -> &[usize] {
+        &self.hosts[model]
+    }
+
+    /// Number of chips in the fleet.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// The models hosted on chip `c` (used to size per-chip weight budgets).
+    pub fn models_on(&self, chip: usize) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|&m| self.hosts[m].contains(&chip))
+            .collect()
+    }
+}
+
+/// Routing state: picks a hosting chip for each arriving request.
+#[derive(Debug, Clone)]
+pub(crate) struct Router {
+    /// Per-model round-robin cursor (FIFO / Batched routing).
+    cursors: Vec<usize>,
+}
+
+impl Router {
+    pub(crate) fn new(models: usize) -> Self {
+        Self {
+            cursors: vec![0; models],
+        }
+    }
+
+    /// Chooses the destination chip for a request for `model`.
+    ///
+    /// `queue_depth(chip)` reports the outstanding work at a chip (batch +
+    /// run queue + an occupied pipeline slot), used by
+    /// join-the-shortest-queue.
+    pub(crate) fn route<F: Fn(usize) -> usize>(
+        &mut self,
+        model: usize,
+        layout: &FleetLayout,
+        policy: Policy,
+        queue_depth: F,
+    ) -> usize {
+        let hosts = layout.hosts(model);
+        debug_assert!(!hosts.is_empty());
+        match policy {
+            Policy::Fifo | Policy::Batched { .. } => {
+                let cursor = &mut self.cursors[model];
+                let chip = hosts[*cursor % hosts.len()];
+                *cursor = (*cursor + 1) % hosts.len();
+                chip
+            }
+            // Ties break on the lowest chip index for determinism.
+            Policy::ShortestQueue => *hosts
+                .iter()
+                .min_by_key(|&&c| (queue_depth(c), c))
+                .expect("hosts is non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_puts_every_model_everywhere() {
+        let layout = FleetLayout::build(3, 4, Sharding::Replicate);
+        for m in 0..3 {
+            assert_eq!(layout.hosts(m), &[0, 1, 2, 3]);
+        }
+        assert_eq!(layout.models_on(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partition_assigns_each_model_one_home() {
+        let layout = FleetLayout::build(5, 2, Sharding::Partition);
+        assert_eq!(layout.hosts(0), &[0]);
+        assert_eq!(layout.hosts(1), &[1]);
+        assert_eq!(layout.hosts(4), &[0]);
+        assert_eq!(layout.models_on(0), vec![0, 2, 4]);
+        assert_eq!(layout.models_on(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_hosts() {
+        let layout = FleetLayout::build(1, 3, Sharding::Replicate);
+        let mut router = Router::new(1);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| router.route(0, &layout, Policy::Fifo, |_| 0))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shortest_queue_picks_least_loaded_host() {
+        let layout = FleetLayout::build(1, 3, Sharding::Replicate);
+        let mut router = Router::new(1);
+        let depths = [5usize, 1, 3];
+        let pick = router.route(0, &layout, Policy::ShortestQueue, |c| depths[c]);
+        assert_eq!(pick, 1);
+        // Ties go to the lowest index.
+        let pick = router.route(0, &layout, Policy::ShortestQueue, |_| 2);
+        assert_eq!(pick, 0);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(Policy::Fifo.label(), "fifo");
+        assert_eq!(
+            Policy::Batched {
+                window_s: 0.001,
+                max_batch: 8
+            }
+            .label(),
+            "batch8"
+        );
+        assert_eq!(Policy::ShortestQueue.label(), "shortest-q");
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulation statistics: latency percentiles, utilization, queue depths,
+//! and energy per request. Everything is serde-serializable so the bench
+//! binaries can dump raw reports next to their tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of per-request latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean, in milliseconds.
+    pub mean_ms: f64,
+    /// Median (50th percentile), in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, in milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, in milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// An all-zero record for an empty sample set.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean_ms: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    /// Computes the summary from latency samples in seconds.
+    pub fn from_samples_s(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let to_ms = 1e3;
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            count: sorted.len() as u64,
+            mean_ms: mean * to_ms,
+            p50_ms: percentile(&sorted, 0.50) * to_ms,
+            p95_ms: percentile(&sorted, 0.95) * to_ms,
+            p99_ms: percentile(&sorted, 0.99) * to_ms,
+            max_ms: sorted[sorted.len() - 1] * to_ms,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-model outcome of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Requests that arrived for this model.
+    pub offered: u64,
+    /// Requests completed within the simulated horizon.
+    pub completed: u64,
+    /// Latency summary over completed requests.
+    pub latency: LatencyStats,
+    /// Mean energy per completed request, in millijoules.
+    pub energy_mj_per_request: f64,
+}
+
+/// Per-chip outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Fraction of the simulated horizon the chip's pipeline was occupied
+    /// (issue-slot occupancy: initiation intervals of issued requests over
+    /// total time).
+    pub utilization: f64,
+    /// Requests issued into this chip's pipeline.
+    pub issued: u64,
+    /// Total energy dissipated by this chip, in millijoules.
+    pub energy_mj: f64,
+}
+
+/// The full result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated horizon, in seconds.
+    pub duration_s: f64,
+    /// Total requests that arrived.
+    pub offered: u64,
+    /// Total requests completed within the horizon.
+    pub completed: u64,
+    /// Requests still queued or in flight when the horizon ended.
+    pub backlog: u64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Latency summary over all completed requests.
+    pub latency: LatencyStats,
+    /// Per-model breakdown, in fleet model order.
+    pub per_model: Vec<ModelStats>,
+    /// Per-chip breakdown, in chip-index order.
+    pub chips: Vec<ChipStats>,
+    /// Time-weighted mean number of queued (not yet issued) requests across
+    /// the fleet.
+    pub mean_queue_depth: f64,
+    /// Largest instantaneous queued-request count observed.
+    pub max_queue_depth: u64,
+    /// Total energy across the fleet, in millijoules.
+    pub total_energy_mj: f64,
+    /// Mean energy per completed request, in millijoules.
+    pub energy_mj_per_request: f64,
+}
+
+impl SimReport {
+    /// Mean utilization across all chips.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.chips.is_empty() {
+            return 0.0;
+        }
+        self.chips.iter().map(|c| c.utilization).sum::<f64>() / self.chips.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_known_sample_set() {
+        // 1..=100 ms in seconds: p50 = 50 ms, p95 = 95 ms, p99 = 99 ms.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-3).collect();
+        let stats = LatencyStats::from_samples_s(&samples);
+        assert_eq!(stats.count, 100);
+        assert!((stats.p50_ms - 50.0).abs() < 1e-9);
+        assert!((stats.p95_ms - 95.0).abs() < 1e-9);
+        assert!((stats.p99_ms - 99.0).abs() < 1e-9);
+        assert!((stats.max_ms - 100.0).abs() < 1e-9);
+        assert!((stats.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let stats = LatencyStats::from_samples_s(&[0.002]);
+        assert_eq!(stats.count, 1);
+        for v in [stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.max_ms] {
+            assert!((v - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_samples_produce_the_empty_record() {
+        assert_eq!(LatencyStats::from_samples_s(&[]), LatencyStats::empty());
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let samples: Vec<f64> = (0..997)
+            .map(|i| ((i * 7919) % 1000) as f64 * 1e-4)
+            .collect();
+        let stats = LatencyStats::from_samples_s(&samples);
+        assert!(stats.p50_ms <= stats.p95_ms);
+        assert!(stats.p95_ms <= stats.p99_ms);
+        assert!(stats.p99_ms <= stats.max_ms);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let report = SimReport {
+            duration_s: 1.0,
+            offered: 10,
+            completed: 9,
+            backlog: 1,
+            throughput_rps: 9.0,
+            latency: LatencyStats::from_samples_s(&[0.001, 0.002]),
+            per_model: vec![ModelStats {
+                name: "VGG-D".to_string(),
+                offered: 10,
+                completed: 9,
+                latency: LatencyStats::from_samples_s(&[0.001]),
+                energy_mj_per_request: 3.5,
+            }],
+            chips: vec![ChipStats {
+                utilization: 0.5,
+                issued: 9,
+                energy_mj: 31.5,
+            }],
+            mean_queue_depth: 0.4,
+            max_queue_depth: 3,
+            total_energy_mj: 31.5,
+            energy_mj_per_request: 3.5,
+        };
+        let text = serde::json::to_string(&report);
+        let back: SimReport = serde::json::from_str(&text).expect("round trip");
+        assert_eq!(back, report);
+        assert!((report.mean_utilization() - 0.5).abs() < 1e-12);
+    }
+}

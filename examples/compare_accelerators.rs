@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prime = PrimeModel::default();
     let isaac = IsaacModel::default();
 
-    println!("{:<12} {:>14} {:>14} {:>12} {:>12}", "model", "TIMELY (mJ)", "PRIME (mJ)", "vs PRIME", "vs ISAAC");
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "model", "TIMELY (mJ)", "PRIME (mJ)", "vs PRIME", "vs ISAAC"
+    );
     for model in timely::nn::zoo::all_models() {
         let t8 = Accelerator::evaluate(&timely8, &model)?;
         let t16 = Accelerator::evaluate(&timely16, &model)?;

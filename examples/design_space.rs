@@ -11,7 +11,10 @@ fn main() -> Result<(), timely::arch::ArchError> {
     let model = timely::nn::zoo::vgg_1();
 
     println!("-- gamma sweep (trade-off: throughput vs computational density) --");
-    println!("{:>6} {:>14} {:>18} {:>16}", "gamma", "TOPs/W", "TOPs/(s*mm^2)", "VGG-1 inf/s");
+    println!(
+        "{:>6} {:>14} {:>18} {:>16}",
+        "gamma", "TOPs/W", "TOPs/(s*mm^2)", "VGG-1 inf/s"
+    );
     for gamma in [2usize, 4, 8, 16, 32] {
         let config = TimelyConfig::builder().gamma(gamma).build()?;
         let peak = PeakPerformance::for_config(&config);
@@ -24,9 +27,14 @@ fn main() -> Result<(), timely::arch::ArchError> {
 
     println!();
     println!("-- sub-chip count sweep (area scaling, Section VI-D) --");
-    println!("{:>10} {:>14} {:>14} {:>16}", "sub-chips", "area (mm^2)", "TOPs/W", "VGG-1 mJ");
+    println!(
+        "{:>10} {:>14} {:>14} {:>16}",
+        "sub-chips", "area (mm^2)", "TOPs/W", "VGG-1 mJ"
+    );
     for subchips in [26usize, 53, 106, 212] {
-        let config = TimelyConfig::builder().subchips_per_chip(subchips).build()?;
+        let config = TimelyConfig::builder()
+            .subchips_per_chip(subchips)
+            .build()?;
         let accelerator = TimelyAccelerator::new(config);
         let report = accelerator.evaluate(&model)?;
         println!(

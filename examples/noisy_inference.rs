@@ -26,7 +26,10 @@ fn main() -> Result<(), timely::arch::ArchError> {
         let report = study.run(&model, &config)?;
         println!(
             "{epsilon_ps:>12.1} {:>18.1} {:>14} {:>15.1}%",
-            study.x_subbuf.cascaded_error(study.cascaded_stages).as_picoseconds(),
+            study
+                .x_subbuf
+                .cascaded_error(study.cascaded_stages)
+                .as_picoseconds(),
             study.within_margin(),
             report.accuracy_loss() * 100.0
         );

@@ -12,14 +12,26 @@ fn main() -> Result<(), timely::arch::ArchError> {
 
     let report = accelerator.evaluate(&model)?;
     println!("model: {model}");
-    println!("MACs per inference: {:.2} G", report.total_macs as f64 / 1e9);
-    println!("energy per inference: {:.3} mJ", report.energy_millijoules());
+    println!(
+        "MACs per inference: {:.2} G",
+        report.total_macs as f64 / 1e9
+    );
+    println!(
+        "energy per inference: {:.3} mJ",
+        report.energy_millijoules()
+    );
     println!(
         "  inputs {:.3} mJ | psums {:.3} mJ | outputs {:.3} mJ | compute {:.3} mJ",
         report.energy.by_data_type(DataType::Input).as_millijoules(),
         report.energy.by_data_type(DataType::Psum).as_millijoules(),
-        report.energy.by_data_type(DataType::Output).as_millijoules(),
-        report.energy.by_data_type(DataType::Compute).as_millijoules(),
+        report
+            .energy
+            .by_data_type(DataType::Output)
+            .as_millijoules(),
+        report
+            .energy
+            .by_data_type(DataType::Compute)
+            .as_millijoules(),
     );
     println!(
         "  analog local buffers {:.4} mJ vs L1 buffers {:.3} mJ",
@@ -27,7 +39,10 @@ fn main() -> Result<(), timely::arch::ArchError> {
             .energy
             .by_memory_level(MemoryLevel::AnalogLocal)
             .as_millijoules(),
-        report.energy.by_memory_level(MemoryLevel::L1).as_millijoules(),
+        report
+            .energy
+            .by_memory_level(MemoryLevel::L1)
+            .as_millijoules(),
     );
     println!(
         "energy efficiency: {:.1} TOPs/W (peak {:.1} TOPs/W)",

@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
+cargo test -q -p timely-sim
+cargo run --release -p timely-bench --bin serving_study -- --smoke > /dev/null
 echo "tier-1 verify: OK"

@@ -9,7 +9,10 @@
 //! * [`arch`] — the TIMELY architecture simulator (sub-chips, O2IR mapping,
 //!   pipelines, energy/area/latency accounting),
 //! * [`baselines`] — PRIME, ISAAC, PipeLayer, AtomLayer and Eyeriss-like
-//!   reference models.
+//!   reference models,
+//! * [`sim`] — a deterministic discrete-event serving simulator (traffic
+//!   generation, batching, multi-chip sharding, latency percentiles) layered
+//!   on the architecture model.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@ pub use timely_analog as analog;
 pub use timely_baselines as baselines;
 pub use timely_core as arch;
 pub use timely_nn as nn;
+pub use timely_sim as sim;
 
 /// Commonly used items, importable with `use timely::prelude::*`.
 pub mod prelude {
@@ -43,4 +47,8 @@ pub mod prelude {
     };
     pub use timely_core::{EvalReport, TimelyAccelerator, TimelyConfig};
     pub use timely_nn::{Model, ModelBuilder};
+    pub use timely_sim::{
+        ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, SimReport,
+        TrafficSpec,
+    };
 }

@@ -92,9 +92,8 @@ fn timely_throughput_exceeds_prime_by_orders_of_magnitude() {
     // Fig. 8(b): 736.6x over PRIME on VGG-D (16-chip configuration).
     let timely_cfg = TimelyConfig::builder().chips(16).build().unwrap();
     let timely = TimelyAccelerator::new(timely_cfg);
-    let prime = PrimeModel::new(
-        timely::baselines::prime::PrimeConfig::paper_default().with_chips(16),
-    );
+    let prime =
+        PrimeModel::new(timely::baselines::prime::PrimeConfig::paper_default().with_chips(16));
     let model = timely::nn::zoo::vgg_d();
     let t = Accelerator::evaluate(&timely, &model).unwrap();
     let p = prime.evaluate(&model).unwrap();

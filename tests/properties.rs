@@ -3,18 +3,23 @@
 
 use proptest::prelude::*;
 use timely::arch::{
-    AreaBreakdown, EnergyBreakdown, ModelMapping, PeakPerformance, SubChipGeometry, TimelyConfig,
+    AreaBreakdown, EnergyBreakdown, ModelMapping, PeakPerformance, SubChipGeometry,
+    ThroughputReport, TimelyConfig,
 };
 use timely::nn::{ConvSpec, FeatureMap, ModelBuilder};
+use timely::sim::{
+    ArrivalProcess, ModelMix, ModelProfile, Policy, ServingSimulator, Sharding, SimConfig,
+    TrafficSpec,
+};
 
 /// A strategy producing small but valid convolutional models.
 fn small_conv_model() -> impl Strategy<Value = timely::nn::Model> {
     (
-        1usize..=8,   // input channels
-        1usize..=32,  // output channels
+        1usize..=8,  // input channels
+        1usize..=32, // output channels
         prop::sample::select(vec![1usize, 3, 5]),
-        1usize..=2,   // stride
-        8usize..=32,  // spatial size
+        1usize..=2,  // stride
+        8usize..=32, // spatial size
     )
         .prop_map(|(c, d, k, s, hw)| {
             let padding = k / 2;
@@ -118,5 +123,95 @@ proptest! {
         prop_assert_eq!(geo.dtcs * config.gamma, geo.input_rows);
         prop_assert_eq!(geo.tdcs * config.gamma, geo.output_columns);
         prop_assert!(geo.weight_capacity > 0);
+    }
+
+    #[test]
+    fn simulator_is_deterministic_under_a_fixed_seed(
+        seed in 0u64..=u64::MAX,
+        chips in 1usize..=4,
+    ) {
+        let model = timely::nn::zoo::cnn_1();
+        let profile = ModelProfile::for_model(&model, &TimelyConfig::paper_default())
+            .expect("CNN-1 fits on one chip");
+        let rate = 0.6 * profile.capacity_rps() * chips as f64;
+        let sim = ServingSimulator::new(
+            std::slice::from_ref(&model),
+            &TimelyConfig::paper_default(),
+            SimConfig {
+                seed,
+                duration_s: 300.0 / rate,
+                chips,
+                policy: Policy::ShortestQueue,
+                sharding: Sharding::Replicate,
+            },
+        )
+        .expect("CNN-1 fits on one chip");
+        let traffic = TrafficSpec {
+            process: ArrivalProcess::Poisson { rate },
+            mix: ModelMix::single(0),
+        };
+        let a = sim.run(&traffic);
+        let b = sim.run(&traffic);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulated_throughput_converges_to_the_analytical_model(seed in 0u64..=u64::MAX) {
+        // At low load the simulator must reproduce the closed-form numbers:
+        // the median latency is the analytical single-inference latency and
+        // completions track arrivals; driven to saturation, the completion
+        // rate converges to the analytical
+        // `throughput_inferences_per_second()` (= 1 / initiation interval),
+        // both within 10%.
+        let model = timely::nn::zoo::cnn_1();
+        let mut config = TimelyConfig::paper_default();
+        config.chips = 1;
+        let analytical = ThroughputReport::for_model(&model, &config)
+            .expect("CNN-1 fits on one chip");
+        let profile = ModelProfile::for_model(&model, &config).unwrap();
+        let build = |duration_s: f64| {
+            ServingSimulator::new(
+                std::slice::from_ref(&model),
+                &config,
+                SimConfig {
+                    seed,
+                    duration_s,
+                    chips: 1,
+                    policy: Policy::Fifo,
+                    sharding: Sharding::Replicate,
+                },
+            )
+            .expect("CNN-1 fits on one chip")
+        };
+
+        // Low load: 10% of capacity.
+        let rate = 0.1 * analytical.inferences_per_second;
+        let low = build(400.0 / rate).run(&TrafficSpec::poisson(rate, 0));
+        let analytical_ms = analytical.single_inference_latency.as_seconds() * 1e3;
+        let drift = (low.latency.p50_ms - analytical_ms).abs() / analytical_ms;
+        prop_assert!(drift < 0.10, "low-load p50 {} vs analytical {analytical_ms}", low.latency.p50_ms);
+        // Completions track realized arrivals (the offered count itself is
+        // Poisson-random, so compare against it rather than the mean rate).
+        prop_assert!(
+            low.completed as f64 >= 0.90 * low.offered as f64,
+            "low-load completions {} vs arrivals {}",
+            low.completed,
+            low.offered
+        );
+
+        // Saturation: enough closed-loop clients to keep the pipeline full.
+        let clients = profile.saturating_clients();
+        let sat = build(1_000.0 * profile.initiation_interval_s).run(&TrafficSpec {
+            process: ArrivalProcess::ClosedLoop { clients, think_time_s: 0.0 },
+            mix: ModelMix::single(0),
+        });
+        let sat_drift = (sat.throughput_rps - analytical.inferences_per_second).abs()
+            / analytical.inferences_per_second;
+        prop_assert!(
+            sat_drift < 0.10,
+            "saturated throughput {} vs analytical {}",
+            sat.throughput_rps,
+            analytical.inferences_per_second
+        );
     }
 }

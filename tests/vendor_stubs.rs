@@ -54,6 +54,66 @@ fn zoo_model_round_trips_through_the_serde_stub() {
 }
 
 #[test]
+fn struct_variant_enums_round_trip_through_the_serde_stub() {
+    // The `timely-sim` traffic and scheduler enums exercise the derive
+    // stub's struct-variant support ({"Variant":{"field":value,...}}).
+    use timely::sim::{ArrivalProcess, ModelMix, Policy, TrafficSpec};
+
+    for process in [
+        ArrivalProcess::Poisson { rate: 1500.0 },
+        ArrivalProcess::Bursty {
+            base_rate: 100.0,
+            burst_rate: 2000.0,
+            mean_burst_s: 0.05,
+            mean_quiet_s: 0.2,
+        },
+        ArrivalProcess::ClosedLoop {
+            clients: 16,
+            think_time_s: 0.01,
+        },
+    ] {
+        let traffic = TrafficSpec {
+            process,
+            mix: ModelMix::weighted(vec![(0, 2.0), (3, 1.0)]),
+        };
+        let text = serde::json::to_string(&traffic);
+        let back: TrafficSpec = serde::json::from_str(&text)
+            .unwrap_or_else(|e| panic!("traffic failed to parse back: {e}\n{text}"));
+        assert_eq!(back, traffic);
+    }
+
+    for policy in [
+        Policy::Fifo,
+        Policy::Batched {
+            window_s: 0.001,
+            max_batch: 8,
+        },
+        Policy::ShortestQueue,
+    ] {
+        let text = serde::json::to_string(&policy);
+        let back: Policy = serde::json::from_str(&text)
+            .unwrap_or_else(|e| panic!("policy failed to parse back: {e}\n{text}"));
+        assert_eq!(back, policy);
+    }
+}
+
+#[test]
+fn exponential_and_geometric_stub_distributions_are_seed_stable() {
+    use rand::distributions::{Distribution, Exp, Geometric};
+
+    let mut a = StdRng::seed_from_u64(99);
+    let mut b = StdRng::seed_from_u64(99);
+    let exp = Exp::new(3.0);
+    let geo = Geometric::new(0.4);
+    let xs: Vec<f64> = (0..64).map(|_| exp.sample(&mut a)).collect();
+    let ys: Vec<f64> = (0..64).map(|_| exp.sample(&mut b)).collect();
+    assert_eq!(xs, ys);
+    let gs: Vec<u64> = (0..64).map(|_| geo.sample(&mut a)).collect();
+    let hs: Vec<u64> = (0..64).map(|_| geo.sample(&mut b)).collect();
+    assert_eq!(gs, hs);
+}
+
+#[test]
 fn seeded_prng_streams_are_deterministic_and_seed_sensitive() {
     let sample = |seed: u64| -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -69,10 +69,7 @@ fn energy_ranking_is_stable_across_model_sizes() {
     }
     let energy_of = |name: &str| {
         let model = timely::nn::zoo::by_name(name).unwrap();
-        timely
-            .evaluate(&model)
-            .unwrap()
-            .energy_millijoules()
+        timely.evaluate(&model).unwrap().energy_millijoules()
     };
     assert!(energy_of("SqueezeNet") < energy_of("ResNet-50"));
     assert!(energy_of("ResNet-50") < energy_of("ResNet-152"));

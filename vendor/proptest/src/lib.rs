@@ -123,7 +123,10 @@ pub mod sample {
 
     /// Chooses uniformly from `items` (which must be non-empty).
     pub fn select<T: Clone + ::std::fmt::Debug>(items: Vec<T>) -> Select<T> {
-        assert!(!items.is_empty(), "sample::select requires a non-empty list");
+        assert!(
+            !items.is_empty(),
+            "sample::select requires a non-empty list"
+        );
         Select { items }
     }
 
@@ -277,7 +280,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             left == right,
             "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
-            stringify!($left), stringify!($right), left, right
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
         );
     }};
 }
@@ -291,7 +297,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             left != right,
             "assertion failed: `{} != {}` (both: {:?})",
-            stringify!($left), stringify!($right), left
+            stringify!($left),
+            stringify!($right),
+            left
         );
     }};
 }

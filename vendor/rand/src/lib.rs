@@ -201,8 +201,12 @@ pub mod distributions {
     pub trait SampleUniform: Copy + PartialOrd {
         /// Samples uniformly from `[low, high]` (`inclusive`) or
         /// `[low, high)`.
-        fn sample_uniform<R: Rng + ?Sized>(low: Self, high: Self, inclusive: bool, rng: &mut R)
-            -> Self;
+        fn sample_uniform<R: Rng + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
     }
 
     macro_rules! uniform_float {
@@ -278,6 +282,83 @@ pub mod distributions {
             X::sample_uniform(self.low, self.high, self.inclusive, rng)
         }
     }
+
+    /// Exponential distribution with rate `λ` (mean `1/λ`), sampled by
+    /// inversion of a uniform draw from `gen_range(0.0..1.0)`.
+    ///
+    /// This is the inter-arrival distribution of a Poisson process, which is
+    /// what the serving simulator's open-loop traffic generators use.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Exp {
+        rate: f64,
+    }
+
+    impl Exp {
+        /// Exponential with the given rate `λ > 0` (events per unit time).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `rate` is not strictly positive and finite.
+        pub fn new(rate: f64) -> Self {
+            assert!(
+                rate > 0.0 && rate.is_finite(),
+                "Exp::new requires a positive finite rate, got {rate}"
+            );
+            Self { rate }
+        }
+
+        /// The distribution's mean, `1/λ`.
+        pub fn mean(&self) -> f64 {
+            1.0 / self.rate
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // u ∈ [0, 1) so 1 - u ∈ (0, 1] and the log is finite.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            -(1.0 - u).ln() / self.rate
+        }
+    }
+
+    /// Geometric distribution over the number of failures before the first
+    /// success of a Bernoulli(`p`) trial (support `0, 1, 2, …`, mean
+    /// `(1-p)/p`), sampled by inversion of a uniform draw.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Geometric {
+        p: f64,
+    }
+
+    impl Geometric {
+        /// Geometric with success probability `p ∈ (0, 1]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `p` is outside `(0, 1]`.
+        pub fn new(p: f64) -> Self {
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "Geometric::new requires 0 < p <= 1, got {p}"
+            );
+            Self { p }
+        }
+
+        /// The distribution's mean, `(1-p)/p`.
+        pub fn mean(&self) -> f64 {
+            (1.0 - self.p) / self.p
+        }
+    }
+
+    impl Distribution<u64> for Geometric {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.p >= 1.0 {
+                return 0;
+            }
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // floor(ln(1-u) / ln(1-p)); both logs are negative, ratio >= 0.
+            ((1.0 - u).ln() / (1.0 - self.p).ln()).floor() as u64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +424,55 @@ mod tests {
         let n = 50_000;
         let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        use super::distributions::Exp;
+        let mut rng = StdRng::seed_from_u64(23);
+        let dist = Exp::new(4.0);
+        assert!((dist.mean() - 0.25).abs() < 1e-12);
+        let n = 50_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() / 0.25 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_samples_are_nonnegative_and_finite() {
+        use super::distributions::Exp;
+        let mut rng = StdRng::seed_from_u64(29);
+        let dist = Exp::new(0.001);
+        for _ in 0..10_000 {
+            let x = dist.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite rate")]
+    fn exponential_rejects_nonpositive_rates() {
+        let _ = super::distributions::Exp::new(0.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_p() {
+        use super::distributions::Geometric;
+        let mut rng = StdRng::seed_from_u64(31);
+        let dist = Geometric::new(0.25);
+        assert!((dist.mean() - 3.0).abs() < 1e-12);
+        let n = 50_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() / 3.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_with_certain_success_is_always_zero() {
+        use super::distributions::Geometric;
+        let mut rng = StdRng::seed_from_u64(37);
+        let dist = Geometric::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 0u64);
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * newtype structs   → the inner value
 //! * tuple structs     → `[v0,v1,...]`
 //! * unit enum variant → `"Variant"`
-//! * data enum variant → `{"Variant":value}` / `{"Variant":[v0,...]}`
+//! * data enum variant → `{"Variant":value}` / `{"Variant":[v0,...]}` /
+//!   `{"Variant":{"field":value,...}}`
 //! * sequences         → `[v0,v1,...]`
 //! * `Option`          → `null` or the value
 //! * floats            → shortest round-trip decimal (`{:?}`)
@@ -164,6 +165,19 @@ impl Serializer {
     pub fn end_tuple_variant(&mut self) {
         self.out.push_str("]}");
     }
+
+    /// Opens a struct enum variant: `{"Name":{`.
+    pub fn begin_struct_variant(&mut self, name: &str) {
+        self.comma_if_needed();
+        self.out.push('{');
+        self.write_string(name);
+        self.out.push_str(":{");
+    }
+
+    /// Closes a struct enum variant: `}}`.
+    pub fn end_struct_variant(&mut self) {
+        self.out.push_str("}}");
+    }
 }
 
 /// Reader for the stub's JSON-like text format.
@@ -288,9 +302,10 @@ impl<'a> Deserializer<'a> {
                 }
                 b'\\' => {
                     self.pos += 1;
-                    let escaped = bytes.get(self.pos).copied().ok_or_else(|| {
-                        Error::custom("unterminated escape sequence".to_string())
-                    })?;
+                    let escaped = bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error::custom("unterminated escape sequence".to_string()))?;
                     out.push(match escaped {
                         b'n' => '\n',
                         b't' => '\t',
@@ -522,12 +537,7 @@ macro_rules! impl_tuple {
     )+};
 }
 
-impl_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 #[cfg(test)]
 mod tests {

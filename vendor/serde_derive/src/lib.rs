@@ -6,10 +6,10 @@
 //!
 //! * structs with named fields,
 //! * tuple structs (newtype structs serialize as their inner value),
-//! * enums with unit and tuple (incl. newtype) variants.
+//! * enums with unit, tuple (incl. newtype), and struct variants.
 //!
-//! Generics and struct-variant enums are unsupported and panic at expansion
-//! time with a clear message.
+//! Generics are unsupported and panic at expansion time with a clear
+//! message.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -21,11 +21,23 @@ enum Item {
     TupleStruct { name: String, arity: usize },
     /// Unit struct.
     UnitStruct { name: String },
-    /// Enum; each variant is `(name, payload_arity)` (0 = unit variant).
+    /// Enum with the listed variants.
     Enum {
         name: String,
-        variants: Vec<(String, usize)>,
+        variants: Vec<(String, VariantShape)>,
     },
+}
+
+/// The payload shape of one enum variant.
+#[derive(Debug)]
+enum VariantShape {
+    /// No payload: serialized as `"Variant"`.
+    Unit,
+    /// Parenthesized payload of the given arity: `{"Variant":value}` for
+    /// arity 1, `{"Variant":[v0,...]}` otherwise.
+    Tuple(usize),
+    /// Named-field payload: `{"Variant":{"field":value,...}}`.
+    Struct(Vec<String>),
 }
 
 #[proc_macro_derive(Serialize)]
@@ -56,15 +68,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::UnitStruct { name } => impl_serialize(name, "s.begin_struct(); s.end_struct();"),
         Item::Enum { name, variants } => {
             let mut body = String::from("match self {\n");
-            for (variant, arity) in variants {
-                match arity {
-                    0 => body.push_str(&format!(
+            for (variant, shape) in variants {
+                match shape {
+                    VariantShape::Unit => body.push_str(&format!(
                         "{name}::{variant} => s.unit_variant(\"{variant}\"),\n"
                     )),
-                    1 => body.push_str(&format!(
+                    VariantShape::Tuple(1) => body.push_str(&format!(
                         "{name}::{variant}(f0) => s.newtype_variant(\"{variant}\", f0),\n"
                     )),
-                    n => {
+                    VariantShape::Tuple(n) => {
                         let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
                         let mut arm = format!(
                             "{name}::{variant}({}) => {{ s.begin_tuple_variant(\"{variant}\");\n",
@@ -76,13 +88,25 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         arm.push_str("s.end_tuple_variant(); }\n");
                         body.push_str(&arm);
                     }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{variant} {{ {} }} => {{ s.begin_struct_variant(\"{variant}\");\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!("s.field(\"{f}\", {f});\n"));
+                        }
+                        arm.push_str("s.end_struct_variant(); }\n");
+                        body.push_str(&arm);
+                    }
                 }
             }
             body.push('}');
             impl_serialize(name, &body)
         }
     };
-    code.parse().expect("serde stub derive generated invalid Rust")
+    code.parse()
+        .expect("serde stub derive generated invalid Rust")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -125,13 +149,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Enum { name, variants } => {
             let mut tagged = String::new();
             let mut plain = String::new();
-            for (variant, arity) in variants {
-                match arity {
-                    0 => plain.push_str(&format!("\"{variant}\" => Ok({name}::{variant}),\n")),
-                    1 => tagged.push_str(&format!(
+            for (variant, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        plain.push_str(&format!("\"{variant}\" => Ok({name}::{variant}),\n"));
+                    }
+                    VariantShape::Tuple(1) => tagged.push_str(&format!(
                         "\"{variant}\" => {name}::{variant}(::serde::Deserialize::deserialize(d)?),\n"
                     )),
-                    n => {
+                    VariantShape::Tuple(n) => {
                         let mut arm = format!("\"{variant}\" => {{ d.begin_seq()?;\n");
                         let mut ctor = format!("let v = {name}::{variant}(");
                         for i in 0..*n {
@@ -141,6 +167,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         ctor.push_str(");\n");
                         arm.push_str(&ctor);
                         arm.push_str("d.end_seq()?;\nv }\n");
+                        tagged.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!("\"{variant}\" => {{ d.begin_struct()?;\n");
+                        let mut ctor = format!("let v = {name}::{variant} {{\n");
+                        for f in fields {
+                            arm.push_str(&format!("let field_{f} = d.field(\"{f}\")?;\n"));
+                            ctor.push_str(&format!("{f}: field_{f},\n"));
+                        }
+                        ctor.push_str("};\n");
+                        arm.push_str(&ctor);
+                        arm.push_str("d.end_struct()?;\nv }\n");
                         tagged.push_str(&arm);
                     }
                 }
@@ -169,7 +207,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             impl_deserialize(name, &body)
         }
     };
-    code.parse().expect("serde stub derive generated invalid Rust")
+    code.parse()
+        .expect("serde stub derive generated invalid Rust")
 }
 
 fn impl_serialize(name: &str, body: &str) -> String {
@@ -206,7 +245,9 @@ fn parse_item(input: TokenStream) -> Item {
     };
     i += 1;
     if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        panic!("serde stub derive: generic type `{name}` is unsupported; extend vendor/serde_derive");
+        panic!(
+            "serde stub derive: generic type `{name}` is unsupported; extend vendor/serde_derive"
+        );
     }
     match keyword.as_str() {
         "struct" => match tokens.get(i) {
@@ -317,7 +358,7 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
     count
 }
 
-fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
@@ -328,25 +369,23 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
         };
         let name = id.to_string();
         i += 1;
-        let arity = match tokens.get(i) {
+        let shape = match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 i += 1;
-                count_top_level_fields(g.stream())
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                panic!(
-                    "serde stub derive: struct variant `{name}` is unsupported; \
-                     extend vendor/serde_derive"
-                );
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
             }
-            _ => 0,
+            _ => VariantShape::Unit,
         };
         // Skip an explicit discriminant (`= expr`) if present.
         if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
             i += 1;
             skip_type(&tokens, &mut i);
         }
-        variants.push((name, arity));
+        variants.push((name, shape));
         if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
