@@ -1,0 +1,215 @@
+//! Design-space study: searches the default neighborhood around the paper's
+//! design point with every `timely-dse` strategy (exhaustive grid, seeded
+//! random sampling, coordinate-descent hill-climbing) and prints the Pareto
+//! frontier over {energy/inference, latency, area, accuracy proxy, p99 under
+//! load}, plus where the paper's hand-picked configuration lands on it.
+//!
+//! Run with `cargo run --release -p timely-bench --bin dse_study`; pass
+//! `--smoke` for a fast CI-sized run. Everything is seeded, so repeated runs
+//! print byte-identical output (pinned by a golden-file test).
+
+use timely_bench::table::Table;
+use timely_core::{Features, TimelyConfig};
+use timely_dse::{
+    Constraints, Evaluator, Explorer, FrontierVerdict, PointReport, SearchSpace, ServingCheck,
+    Strategy,
+};
+use timely_nn::zoo;
+
+const SEED: u64 = 0xD5E4;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let min_evaluated = if smoke { 20 } else { 200 };
+
+    // The search setup: the default neighborhood around the paper's design
+    // point, evaluated on the DSE workload set, with an area cap, an
+    // accuracy floor, and a 70%-load serving check.
+    let space = SearchSpace::paper_neighborhood();
+    let constraints = Constraints {
+        max_area_mm2: Some(400.0),
+        max_noise_sigma_lsb: Some(0.5),
+        max_latency_ms: None,
+    };
+    let serving = ServingCheck {
+        load: 0.7,
+        requests: if smoke { 150.0 } else { 400.0 },
+        seed: SEED,
+    };
+    let evaluator = Evaluator::new(zoo::dse_benchmarks())
+        .with_constraints(constraints)
+        .with_serving(serving);
+    let mut explorer = Explorer::new(space, evaluator);
+
+    // Always evaluate the paper's design point so the frontier relates to it.
+    let paper = TimelyConfig::paper_default();
+    explorer.seed_config(&paper);
+
+    let strategies: Vec<(&str, Strategy)> = if smoke {
+        vec![
+            ("grid/48", Strategy::Grid { max_points: 48 }),
+            (
+                "random/16",
+                Strategy::Random {
+                    samples: 16,
+                    seed: SEED,
+                },
+            ),
+            (
+                "hill-climb/2",
+                Strategy::HillClimb {
+                    starts: 2,
+                    max_steps: 8,
+                    seed: SEED + 1,
+                },
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "grid/full",
+                Strategy::Grid {
+                    max_points: usize::MAX,
+                },
+            ),
+            (
+                "random/64",
+                Strategy::Random {
+                    samples: 64,
+                    seed: SEED,
+                },
+            ),
+            (
+                "hill-climb/8",
+                Strategy::HillClimb {
+                    starts: 8,
+                    max_steps: 16,
+                    seed: SEED + 1,
+                },
+            ),
+        ]
+    };
+    for (_, strategy) in &strategies {
+        explorer.run(strategy);
+    }
+    let space_len = explorer.space().len();
+    let report = explorer.report();
+
+    // --- Search summary ------------------------------------------------------
+    let mut summary = Table::new(
+        format!(
+            "DSE study - search summary (space of {space_len} points, workloads: {}, strategies: {})",
+            workload_names(),
+            strategies
+                .iter()
+                .map(|(name, _)| *name)
+                .collect::<Vec<_>>()
+                .join(" + ")
+        ),
+        &[
+            "evaluated", "pruned", "infeasible", "cache hits", "pool", "frontier",
+        ],
+    );
+    summary.row(&[
+        report.stats.evaluations.to_string(),
+        report.stats.pruned.to_string(),
+        report.stats.infeasible.to_string(),
+        report.stats.cache_hits.to_string(),
+        report.points.len().to_string(),
+        report.frontier.len().to_string(),
+    ]);
+    summary.print();
+    assert!(
+        report.stats.evaluations >= min_evaluated,
+        "evaluated only {} points (need >= {min_evaluated})",
+        report.stats.evaluations
+    );
+
+    // --- The Pareto frontier -------------------------------------------------
+    let mut frontier = Table::new(
+        format!(
+            "DSE study - Pareto frontier over {{{}}} (lower is better everywhere)",
+            report.objective_labels.join(", ")
+        ),
+        &[
+            "hash",
+            "B",
+            "grid",
+            "gamma",
+            "cell",
+            "W/A",
+            "chi",
+            "feats",
+            "mJ/inf",
+            "lat ms",
+            "area mm2",
+            "noise LSB",
+            "p99 ms",
+        ],
+    );
+    for point in report.frontier_points() {
+        frontier.row(&point_row(point));
+    }
+    frontier.print();
+
+    // --- Where the paper's design point lands --------------------------------
+    match report.frontier_verdict(&paper) {
+        Some(FrontierVerdict::OnFrontier) => {
+            println!(
+                "paper default ({}) is ON the Pareto frontier",
+                short_hash(paper.stable_hash())
+            );
+        }
+        Some(FrontierVerdict::DominatedBy(hash)) => {
+            println!(
+                "paper default ({}) is DOMINATED by frontier point {}",
+                short_hash(paper.stable_hash()),
+                short_hash(hash)
+            );
+        }
+        None => panic!("paper default was seeded but never evaluated"),
+    }
+}
+
+fn workload_names() -> String {
+    zoo::dse_benchmarks()
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn short_hash(hash: u64) -> String {
+    format!("{:08x}", hash >> 32)
+}
+
+/// `A` = analog local buffers, `T` = time-domain interfaces, `O` = O2IR.
+fn features_label(features: &Features) -> String {
+    let flag = |on: bool, c: char| if on { c } else { '-' };
+    format!(
+        "{}{}{}",
+        flag(features.analog_local_buffers, 'A'),
+        flag(features.time_domain_interfaces, 'T'),
+        flag(features.o2ir_mapping, 'O'),
+    )
+}
+
+fn point_row(point: &PointReport) -> Vec<String> {
+    let cfg = &point.config;
+    let obj = &point.objectives;
+    vec![
+        short_hash(point.config_hash),
+        cfg.crossbar_size.to_string(),
+        format!("{}x{}", cfg.subchip_rows, cfg.subchip_cols),
+        cfg.gamma.to_string(),
+        cfg.cell_bits.to_string(),
+        format!("{}/{}", cfg.weight_bits, cfg.activation_bits),
+        cfg.subchips_per_chip.to_string(),
+        features_label(&cfg.features),
+        format!("{:.3}", obj.energy_mj_per_inference),
+        format!("{:.3}", obj.latency_ms),
+        format!("{:.1}", obj.area_mm2),
+        format!("{:.3}", obj.noise_sigma_lsb),
+        format!("{:.3}", obj.p99_ms),
+    ]
+}

@@ -153,6 +153,11 @@ impl TimelyConfig {
 
     /// Validates the configuration.
     ///
+    /// This is also the cheap pre-screen used by the `timely-dse` design-space
+    /// explorer: it rejects degenerate points (which would otherwise hit
+    /// divide-by-zero arithmetic deep in the geometry/pipeline models) before
+    /// any model evaluation happens.
+    ///
     /// # Errors
     ///
     /// Returns [`ArchError::InvalidConfig`] when a structural parameter is
@@ -176,10 +181,34 @@ impl TimelyConfig {
         if self.cell_bits == 0 || self.weight_bits == 0 || self.activation_bits == 0 {
             return invalid("bit widths must be nonzero");
         }
+        if self.cell_bits > self.weight_bits {
+            return invalid("cell precision must not exceed the weight precision");
+        }
         if self.subchips_per_chip == 0 || self.chips == 0 {
             return invalid("chip counts must be nonzero");
         }
         Ok(())
+    }
+
+    /// A deterministic 64-bit hash of the full configuration (including the
+    /// component library), stable across runs and platforms.
+    ///
+    /// The `timely-dse` explorer uses this as its evaluation memo-cache key
+    /// and as a compact point identifier in reports, so two configurations
+    /// compare equal if and only if they describe the same design point (up
+    /// to the fidelity of the serialized representation).
+    pub fn stable_hash(&self) -> u64 {
+        // FNV-1a over the canonical serde encoding. `std`'s hashers are
+        // randomly keyed per process, which would break golden-file tests.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let encoded = serde::json::to_string(self);
+        let mut hash = FNV_OFFSET;
+        for byte in encoded.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
     }
 }
 
@@ -219,6 +248,12 @@ impl TimelyConfigBuilder {
     /// Sets the DTC/TDC sharing factor γ.
     pub fn gamma(&mut self, gamma: usize) -> &mut Self {
         self.config.gamma = gamma;
+        self
+    }
+
+    /// Sets the number of bits stored per ReRAM cell.
+    pub fn cell_bits(&mut self, cell_bits: u8) -> &mut Self {
+        self.config.cell_bits = cell_bits;
         self
     }
 
@@ -318,6 +353,26 @@ mod tests {
             .subchip_geometry(0, 12)
             .build()
             .is_err());
+        assert!(TimelyConfig::builder().cell_bits(0).build().is_err());
+        // Cell precision must not exceed the weight precision.
+        assert!(TimelyConfig::builder()
+            .cell_bits(6)
+            .precision(4, 8)
+            .build()
+            .is_err());
+        assert!(TimelyConfig::builder().cell_bits(2).build().is_ok());
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_configs_and_is_reproducible() {
+        let a = TimelyConfig::paper_default();
+        let b = TimelyConfig::paper_default();
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        let c = TimelyConfig::builder().gamma(4).build().unwrap();
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        let d = TimelyConfig::paper_16bit();
+        assert_ne!(a.stable_hash(), d.stable_hash());
+        assert_ne!(c.stable_hash(), d.stable_hash());
     }
 
     #[test]

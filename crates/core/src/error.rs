@@ -41,6 +41,12 @@ impl fmt::Display for ArchError {
 
 impl std::error::Error for ArchError {}
 
+/// Workspace-wide alias for [`ArchError`]: the error type returned by
+/// [`TimelyConfig::validate`](crate::TimelyConfig::validate) and every
+/// evaluation entry point, under the name downstream crates (`timely-dse`,
+/// the facade) use for it.
+pub type TimelyError = ArchError;
+
 impl From<timely_nn::NnError> for ArchError {
     fn from(err: timely_nn::NnError) -> Self {
         ArchError::Workload(err.to_string())

@@ -35,7 +35,7 @@ pub mod subchip;
 pub use area::AreaBreakdown;
 pub use config::{Features, MappingStrategy, TimelyConfig, TimelyConfigBuilder};
 pub use energy::{DataType, EnergyBreakdown, MemoryLevel};
-pub use error::ArchError;
+pub use error::{ArchError, TimelyError};
 pub use mapping::{LayerCounts, ModelMapping};
 pub use pipeline::{PeakPerformance, ThroughputReport};
 pub use report::{EvalReport, TimelyAccelerator};

@@ -160,6 +160,32 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_error_instead_of_panicking() {
+        // Direct struct construction bypasses the builder, so evaluation must
+        // re-validate rather than divide by zero deep in the geometry model.
+        for cfg in [
+            TimelyConfig {
+                crossbar_size: 0,
+                ..TimelyConfig::paper_default()
+            },
+            TimelyConfig {
+                gamma: 0,
+                ..TimelyConfig::paper_default()
+            },
+            TimelyConfig {
+                cell_bits: 0,
+                ..TimelyConfig::paper_default()
+            },
+        ] {
+            let accel = TimelyAccelerator::new(cfg);
+            assert!(matches!(
+                accel.evaluate(&zoo::cnn_1()),
+                Err(ArchError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn default_accelerator_uses_paper_config() {
         let accel = TimelyAccelerator::default();
         assert_eq!(accel.config(), &TimelyConfig::paper_default());

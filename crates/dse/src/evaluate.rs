@@ -1,0 +1,430 @@
+//! Point evaluation: objectives, constraints, and the memo-cache.
+//!
+//! The [`Evaluator`] turns one [`TimelyConfig`] into one [`PointOutcome`]:
+//!
+//! 1. **Pre-screen** (config-only, no model evaluation):
+//!    [`TimelyConfig::validate`] rejects degenerate points, then the area and
+//!    accuracy-proxy constraints prune points whose silicon or analog-noise
+//!    budget is already blown. Pruned points cost microseconds.
+//! 2. **Workload evaluation**: every workload model is mapped and evaluated
+//!    through the analytical `timely-core` model (energy/inference, latency).
+//!    Mapping failures (model too large for the configured chips) make the
+//!    point *infeasible*.
+//! 3. **Serving check** (optional): a seeded `timely-sim` run measures the
+//!    p99 latency of the workload mix at a given fraction of fleet capacity.
+//!
+//! Every outcome is memoized in a cache keyed on
+//! [`TimelyConfig::stable_hash`], so search strategies that revisit points
+//! (hill-climb paths, overlapping grids) pay for each design point once, and
+//! a cache hit returns a bit-identical report.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use timely_core::accuracy::AccuracyStudy;
+use timely_core::{AreaBreakdown, TimelyAccelerator, TimelyConfig};
+use timely_nn::Model;
+use timely_sim::serving_check;
+
+/// The objective vector of one design point. Lower is better on every axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// Mean energy of one inference across the workload set, in millijoules.
+    pub energy_mj_per_inference: f64,
+    /// Mean single-inference latency across the workload set, in ms.
+    pub latency_ms: f64,
+    /// Total silicon area of the fleet (chip area × chips), in mm².
+    pub area_mm2: f64,
+    /// Accuracy proxy (§VI-B): the accumulated analog timing error of the
+    /// cascaded X-subBufs, in input LSBs. Past ~0.5 LSB, time-domain codes
+    /// start to flip and inference accuracy degrades.
+    pub noise_sigma_lsb: f64,
+    /// p99 latency of the workload mix under load, in ms (0 when the serving
+    /// check is disabled; excluded from the objective vector in that case).
+    pub p99_ms: f64,
+}
+
+impl Objectives {
+    /// Labels of the objective axes, in [`Objectives::vector`] order.
+    pub fn labels(with_serving: bool) -> Vec<&'static str> {
+        let mut labels = vec!["energy mJ/inf", "latency ms", "area mm2", "noise LSB"];
+        if with_serving {
+            labels.push("p99 ms");
+        }
+        labels
+    }
+
+    /// The raw objective vector (lower is better) consumed by the Pareto
+    /// routines in [`crate::pareto`].
+    pub fn vector(&self, with_serving: bool) -> Vec<f64> {
+        let mut v = vec![
+            self.energy_mj_per_inference,
+            self.latency_ms,
+            self.area_mm2,
+            self.noise_sigma_lsb,
+        ];
+        if with_serving {
+            v.push(self.p99_ms);
+        }
+        v
+    }
+}
+
+/// A fully evaluated, feasible design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointReport {
+    /// The evaluated configuration.
+    pub config: TimelyConfig,
+    /// [`TimelyConfig::stable_hash`] of the configuration — the memo-cache
+    /// key and the point's identifier in reports.
+    pub config_hash: u64,
+    /// The point's objective values.
+    pub objectives: Objectives,
+}
+
+/// The result of evaluating one design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PointOutcome {
+    /// The point was evaluated and satisfies every constraint.
+    Feasible(PointReport),
+    /// The point was rejected by the config-only pre-screen (validation,
+    /// area cap, or accuracy floor) before any model evaluation.
+    Pruned {
+        /// Why the pre-screen rejected the point.
+        reason: String,
+    },
+    /// The point failed workload evaluation (e.g. a workload model does not
+    /// fit) or violated a post-evaluation constraint.
+    Infeasible {
+        /// Why evaluation failed.
+        reason: String,
+    },
+}
+
+impl PointOutcome {
+    /// The report, when the point is feasible.
+    pub fn report(&self) -> Option<&PointReport> {
+        match self {
+            PointOutcome::Feasible(report) => Some(report),
+            _ => None,
+        }
+    }
+}
+
+/// Early-rejection constraints. `None` disables a constraint.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Constraints {
+    /// Maximum total fleet silicon area, in mm² (pre-screen: config-only).
+    pub max_area_mm2: Option<f64>,
+    /// Maximum analog timing error in input LSBs — the accuracy floor
+    /// (pre-screen: config-only).
+    pub max_noise_sigma_lsb: Option<f64>,
+    /// Maximum mean single-inference latency, in ms (checked after workload
+    /// evaluation).
+    pub max_latency_ms: Option<f64>,
+}
+
+/// The optional serving check behind the `p99 ms` objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingCheck {
+    /// Offered load as a fraction of the fleet's capacity for the workload
+    /// mix (e.g. `0.7` = 70 % of the saturation rate).
+    pub load: f64,
+    /// Approximate number of requests to simulate per point.
+    pub requests: f64,
+    /// Seed of each point's simulation run (the same seed is reused for
+    /// every point, so points differ only by their configuration).
+    pub seed: u64,
+}
+
+impl Default for ServingCheck {
+    fn default() -> Self {
+        Self {
+            load: 0.7,
+            requests: 200.0,
+            seed: 0xD5E,
+        }
+    }
+}
+
+/// Counters describing how a search spent its evaluation budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Full workload evaluations that produced a feasible report.
+    pub evaluations: usize,
+    /// Requests answered from the memo-cache without re-evaluation.
+    pub cache_hits: usize,
+    /// Points rejected by the config-only pre-screen.
+    pub pruned: usize,
+    /// Points that failed workload evaluation or a post-evaluation
+    /// constraint.
+    pub infeasible: usize,
+}
+
+/// Evaluates design points against a workload set, with memoization.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    workloads: Vec<Model>,
+    constraints: Constraints,
+    serving: Option<ServingCheck>,
+    cache: BTreeMap<u64, PointOutcome>,
+    stats: EvalStats,
+}
+
+impl Evaluator {
+    /// Creates an evaluator over the given workload models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty.
+    pub fn new(workloads: Vec<Model>) -> Self {
+        assert!(!workloads.is_empty(), "evaluator needs at least one model");
+        Self {
+            workloads,
+            constraints: Constraints::default(),
+            serving: None,
+            cache: BTreeMap::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Adds early-rejection constraints.
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Enables the serving check, adding `p99 ms` to the objective vector.
+    pub fn with_serving(mut self, serving: ServingCheck) -> Self {
+        assert!(
+            serving.load > 0.0 && serving.load.is_finite(),
+            "serving load must be > 0"
+        );
+        assert!(serving.requests >= 1.0, "serving check needs >= 1 request");
+        self.serving = Some(serving);
+        self
+    }
+
+    /// Whether the serving check (and hence the `p99 ms` objective) is on.
+    pub fn serving_enabled(&self) -> bool {
+        self.serving.is_some()
+    }
+
+    /// The workload models being evaluated.
+    pub fn workloads(&self) -> &[Model] {
+        &self.workloads
+    }
+
+    /// The evaluation counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Evaluates one configuration, answering from the memo-cache when the
+    /// point was seen before. Cache hits return a clone of the stored
+    /// outcome, bit-identical to the original evaluation.
+    pub fn evaluate(&mut self, config: &TimelyConfig) -> PointOutcome {
+        let key = config.stable_hash();
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit.clone();
+        }
+        let outcome = self.evaluate_fresh(config, key);
+        match &outcome {
+            PointOutcome::Feasible(_) => self.stats.evaluations += 1,
+            PointOutcome::Pruned { .. } => self.stats.pruned += 1,
+            PointOutcome::Infeasible { .. } => self.stats.infeasible += 1,
+        }
+        self.cache.insert(key, outcome.clone());
+        outcome
+    }
+
+    fn evaluate_fresh(&self, config: &TimelyConfig, key: u64) -> PointOutcome {
+        // Pre-screen 1: structural validity (divide-by-zero guards etc.).
+        if let Err(err) = config.validate() {
+            return PointOutcome::Pruned {
+                reason: err.to_string(),
+            };
+        }
+        // Pre-screen 2: config-only constraints, cheapest first.
+        let noise_sigma_lsb = AccuracyStudy::from_config(config)
+            .noise_model()
+            .input_sigma_lsb;
+        if let Some(cap) = self.constraints.max_noise_sigma_lsb {
+            if noise_sigma_lsb > cap {
+                return PointOutcome::Pruned {
+                    reason: format!("noise {noise_sigma_lsb:.3} LSB exceeds floor {cap:.3}"),
+                };
+            }
+        }
+        let area_mm2 = AreaBreakdown::for_chip(config)
+            .total()
+            .as_square_millimeters()
+            * config.chips as f64;
+        if let Some(cap) = self.constraints.max_area_mm2 {
+            if area_mm2 > cap {
+                return PointOutcome::Pruned {
+                    reason: format!("area {area_mm2:.1} mm2 exceeds cap {cap:.1}"),
+                };
+            }
+        }
+
+        // Workload evaluation through the analytical model.
+        let accelerator = TimelyAccelerator::new(config.clone());
+        let mut energy_mj = 0.0;
+        let mut latency_ms = 0.0;
+        for model in &self.workloads {
+            let report = match accelerator.evaluate(model) {
+                Ok(report) => report,
+                Err(err) => {
+                    return PointOutcome::Infeasible {
+                        reason: format!("{}: {err}", model.name()),
+                    }
+                }
+            };
+            energy_mj += report.energy_millijoules();
+            latency_ms += report.throughput.single_inference_latency.as_seconds() * 1e3;
+        }
+        energy_mj /= self.workloads.len() as f64;
+        latency_ms /= self.workloads.len() as f64;
+        if let Some(cap) = self.constraints.max_latency_ms {
+            if latency_ms > cap {
+                return PointOutcome::Infeasible {
+                    reason: format!("latency {latency_ms:.3} ms exceeds cap {cap:.3}"),
+                };
+            }
+        }
+
+        // Optional serving check via the discrete-event simulator.
+        let p99_ms = match self.serving {
+            None => 0.0,
+            Some(check) => {
+                let report = match serving_check(
+                    &self.workloads,
+                    config,
+                    check.load,
+                    check.requests,
+                    check.seed,
+                ) {
+                    Ok(report) => report,
+                    Err(err) => {
+                        return PointOutcome::Infeasible {
+                            reason: format!("serving check: {err}"),
+                        }
+                    }
+                };
+                if report.completed == 0 {
+                    return PointOutcome::Infeasible {
+                        reason: "serving check completed no requests".to_string(),
+                    };
+                }
+                report.latency.p99_ms
+            }
+        };
+
+        PointOutcome::Feasible(PointReport {
+            config: config.clone(),
+            config_hash: key,
+            objectives: Objectives {
+                energy_mj_per_inference: energy_mj,
+                latency_ms,
+                area_mm2,
+                noise_sigma_lsb,
+                p99_ms,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timely_nn::zoo;
+
+    fn evaluator() -> Evaluator {
+        Evaluator::new(vec![zoo::cnn_1()])
+    }
+
+    #[test]
+    fn paper_default_is_feasible() {
+        let mut eval = evaluator();
+        let outcome = eval.evaluate(&TimelyConfig::paper_default());
+        let report = outcome.report().expect("paper default is feasible");
+        assert!(report.objectives.energy_mj_per_inference > 0.0);
+        assert!(report.objectives.latency_ms > 0.0);
+        assert!((report.objectives.area_mm2 - 91.0).abs() < 3.0);
+        assert!(report.objectives.noise_sigma_lsb > 0.0);
+        assert_eq!(report.objectives.p99_ms, 0.0);
+        assert_eq!(eval.stats().evaluations, 1);
+    }
+
+    #[test]
+    fn degenerate_points_are_pruned_before_evaluation() {
+        let mut eval = evaluator();
+        let degenerate = TimelyConfig {
+            gamma: 0,
+            ..TimelyConfig::paper_default()
+        };
+        assert!(matches!(
+            eval.evaluate(&degenerate),
+            PointOutcome::Pruned { .. }
+        ));
+        assert_eq!(eval.stats().pruned, 1);
+        assert_eq!(eval.stats().evaluations, 0);
+    }
+
+    #[test]
+    fn area_cap_prunes_large_points() {
+        let mut eval = evaluator().with_constraints(Constraints {
+            max_area_mm2: Some(1.0),
+            ..Constraints::default()
+        });
+        match eval.evaluate(&TimelyConfig::paper_default()) {
+            PointOutcome::Pruned { reason } => assert!(reason.contains("area")),
+            other => panic!("expected pruned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_large_models_are_infeasible_not_panicking() {
+        let mut eval = Evaluator::new(vec![zoo::vgg_d()]);
+        let tiny = TimelyConfig {
+            subchips_per_chip: 1,
+            ..TimelyConfig::paper_default()
+        };
+        assert!(matches!(
+            eval.evaluate(&tiny),
+            PointOutcome::Infeasible { .. }
+        ));
+        assert_eq!(eval.stats().infeasible, 1);
+    }
+
+    #[test]
+    fn cache_hits_do_not_reevaluate() {
+        let mut eval = evaluator();
+        let cfg = TimelyConfig::paper_default();
+        let first = eval.evaluate(&cfg);
+        let second = eval.evaluate(&cfg);
+        assert_eq!(first, second);
+        assert_eq!(eval.stats().evaluations, 1);
+        assert_eq!(eval.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn serving_check_fills_p99() {
+        let mut eval = evaluator().with_serving(ServingCheck {
+            load: 0.5,
+            requests: 100.0,
+            seed: 7,
+        });
+        let report = eval
+            .evaluate(&TimelyConfig::paper_default())
+            .report()
+            .cloned()
+            .expect("feasible");
+        assert!(report.objectives.p99_ms > 0.0);
+        assert!(report.objectives.p99_ms >= report.objectives.latency_ms * 0.99);
+        assert_eq!(report.objectives.vector(true).len(), 5);
+        assert_eq!(Objectives::labels(true).len(), 5);
+    }
+}

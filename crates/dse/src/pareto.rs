@@ -1,0 +1,147 @@
+//! Pareto dominance, frontier extraction, and dominance ranking.
+//!
+//! All functions operate on raw objective vectors (`&[f64]`, lower is better
+//! on every axis) so they can be property-tested independently of the
+//! evaluation pipeline. Results are deterministic: the frontier is returned
+//! in a canonical order (lexicographic by objective vector, ties by input
+//! index), so the same point *set* yields the same frontier regardless of
+//! input order.
+
+use std::cmp::Ordering;
+
+/// Whether `a` Pareto-dominates `b`: no worse on every objective and
+/// strictly better on at least one. Lower is better.
+///
+/// Dominance is irreflexive: a point never dominates itself (or an exact
+/// duplicate of itself).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Lexicographic comparison of two objective vectors (`total_cmp` per axis).
+fn lex(a: &[f64], b: &[f64]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Indices of the Pareto frontier of `points`: every point no other point
+/// dominates. Returned sorted lexicographically by objective vector (ties by
+/// index), so the frontier's *values* are invariant under permutation of the
+/// input.
+pub fn frontier_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && dominates(p, &points[i]))
+        })
+        .collect();
+    frontier.sort_by(|&i, &j| lex(&points[i], &points[j]).then(i.cmp(&j)));
+    frontier
+}
+
+/// Non-dominated-sorting rank of every point: rank 0 is the Pareto frontier,
+/// rank 1 the frontier after removing rank 0, and so on (NSGA-style layer
+/// peeling).
+pub fn dominance_ranks(points: &[Vec<f64>]) -> Vec<usize> {
+    const UNRANKED: usize = usize::MAX;
+    let mut rank = vec![UNRANKED; points.len()];
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut layer = 0;
+    while !remaining.is_empty() {
+        let front: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(&points[j], &points[i]))
+            })
+            .collect();
+        assert!(
+            !front.is_empty(),
+            "dominance peeling stalled (non-finite objectives?)"
+        );
+        for &i in &front {
+            rank[i] = layer;
+        }
+        remaining.retain(|&i| rank[i] == UNRANKED);
+        layer += 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(dominates(&[0.5, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[1.0, 2.0]));
+        // Equal points do not dominate each other.
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        // Trade-offs dominate in neither direction.
+        assert!(!dominates(&[0.0, 5.0], &[5.0, 0.0]));
+        assert!(!dominates(&[5.0, 0.0], &[0.0, 5.0]));
+    }
+
+    #[test]
+    fn frontier_of_a_known_set() {
+        let points = vec![
+            vec![1.0, 4.0], // frontier
+            vec![2.0, 2.0], // frontier
+            vec![4.0, 1.0], // frontier
+            vec![3.0, 3.0], // dominated by (2,2)
+            vec![5.0, 5.0], // dominated by everything
+        ];
+        assert_eq!(frontier_indices(&points), vec![0, 1, 2]);
+        assert_eq!(dominance_ranks(&points), vec![0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_share_the_frontier() {
+        let points = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(frontier_indices(&points), vec![0, 1]);
+        assert_eq!(dominance_ranks(&points), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn frontier_order_is_canonical() {
+        let a = vec![vec![2.0, 2.0], vec![1.0, 4.0], vec![4.0, 1.0]];
+        let b = vec![vec![4.0, 1.0], vec![2.0, 2.0], vec![1.0, 4.0]];
+        let fa: Vec<&Vec<f64>> = frontier_indices(&a).into_iter().map(|i| &a[i]).collect();
+        let fb: Vec<&Vec<f64>> = frontier_indices(&b).into_iter().map(|i| &b[i]).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        assert!(frontier_indices(&[]).is_empty());
+        assert!(dominance_ranks(&[]).is_empty());
+        let one = vec![vec![3.0]];
+        assert_eq!(frontier_indices(&one), vec![0]);
+        assert_eq!(dominance_ranks(&one), vec![0]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Search strategies and the explorer driving them.
+//!
+//! Three deterministic strategies cover the usual exploration regimes:
+//!
+//! * [`Strategy::Grid`] — exhaustive enumeration (optionally stride-sampled
+//!   down to a budget) for small spaces and regression baselines;
+//! * [`Strategy::Random`] — seeded uniform sampling for large spaces;
+//! * [`Strategy::HillClimb`] — seeded coordinate-descent restarts that walk
+//!   the axis neighborhood toward a scalar figure of merit (the log-product
+//!   of the objectives), used to polish the frontier cheaply.
+//!
+//! All evaluated points accumulate in one pool (deduplicated by
+//! [`TimelyConfig::stable_hash`]); the final [`DseReport`] ranks the pool by
+//! Pareto dominance and extracts the frontier in a canonical order, so the
+//! same strategies over the same space always produce byte-identical
+//! reports.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use timely_core::TimelyConfig;
+
+use crate::evaluate::{EvalStats, Evaluator, PointOutcome, PointReport};
+use crate::pareto::{dominance_ranks, dominates, frontier_indices};
+use crate::space::{Coords, SearchSpace};
+
+/// A deterministic search strategy over a [`SearchSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Enumerate the grid. When the space is larger than `max_points`, the
+    /// budget is spread over the index range (point `⌊i·len/budget⌋` for
+    /// each `i < budget`) so the sample spans the whole range without the
+    /// residue aliasing a fixed stride would have against an axis radix.
+    Grid {
+        /// Evaluation budget; `usize::MAX` enumerates everything.
+        max_points: usize,
+    },
+    /// Evaluate `samples` points drawn uniformly (with replacement) from the
+    /// space by a seeded RNG. Revisited points cost one memo-cache hit.
+    Random {
+        /// Number of draws.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Coordinate-descent hill-climbing: from `starts` seeded random starting
+    /// points, repeatedly move to the best improving axis-neighbor (±1 along
+    /// one axis) until a local optimum or `max_steps` moves.
+    HillClimb {
+        /// Number of random restarts.
+        starts: usize,
+        /// Maximum moves per restart.
+        max_steps: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// The outcome of checking a configuration against a frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrontierVerdict {
+    /// The configuration itself is on the Pareto frontier.
+    OnFrontier,
+    /// The configuration is feasible but dominated; the payload is the
+    /// `stable_hash` of a frontier point that dominates it.
+    DominatedBy(u64),
+}
+
+/// The result of a design-space exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseReport {
+    /// Labels of the objective axes, in vector order.
+    pub objective_labels: Vec<String>,
+    /// Every feasible evaluated point, in canonical order (lexicographic by
+    /// objective vector, ties by config hash).
+    pub points: Vec<PointReport>,
+    /// Indices into [`DseReport::points`] of the Pareto frontier, ascending.
+    pub frontier: Vec<usize>,
+    /// Non-dominated-sorting rank of each point (0 = frontier).
+    pub ranks: Vec<usize>,
+    /// How the search spent its evaluation budget.
+    pub stats: EvalStats,
+}
+
+impl DseReport {
+    /// The frontier's points, in canonical order.
+    pub fn frontier_points(&self) -> impl Iterator<Item = &PointReport> {
+        self.frontier.iter().map(|&i| &self.points[i])
+    }
+
+    /// Whether the point set's objective vectors use the serving axis.
+    fn with_serving(&self) -> bool {
+        self.objective_labels.len() > 4
+    }
+
+    /// Looks up an evaluated point by configuration.
+    pub fn find(&self, config: &TimelyConfig) -> Option<&PointReport> {
+        let hash = config.stable_hash();
+        self.points.iter().find(|p| p.config_hash == hash)
+    }
+
+    /// Checks a configuration against the frontier: on it, or dominated by
+    /// one of its points. Returns `None` when the configuration was never
+    /// (feasibly) evaluated.
+    pub fn frontier_verdict(&self, config: &TimelyConfig) -> Option<FrontierVerdict> {
+        let target = self.find(config)?;
+        let with_serving = self.with_serving();
+        if self
+            .frontier_points()
+            .any(|p| p.config_hash == target.config_hash)
+        {
+            return Some(FrontierVerdict::OnFrontier);
+        }
+        let vector = target.objectives.vector(with_serving);
+        let dominator = self
+            .frontier_points()
+            .find(|p| dominates(&p.objectives.vector(with_serving), &vector))
+            // A feasible non-frontier point is always dominated by some
+            // frontier point (dominance is a finite strict partial order).
+            .expect("dominated point has a frontier dominator");
+        Some(FrontierVerdict::DominatedBy(dominator.config_hash))
+    }
+}
+
+/// Drives strategies over a space, pooling every feasible point.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    space: SearchSpace,
+    evaluator: Evaluator,
+    /// Feasible points in first-seen order, deduplicated by config hash.
+    pool: Vec<PointReport>,
+}
+
+impl Explorer {
+    /// Creates an explorer over `space` using `evaluator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty.
+    pub fn new(space: SearchSpace, evaluator: Evaluator) -> Self {
+        assert!(!space.is_empty(), "search space has an empty axis");
+        Self {
+            space,
+            evaluator,
+            pool: Vec::new(),
+        }
+    }
+
+    /// The space being explored.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Force-evaluates one configuration into the pool (e.g. the paper's
+    /// design point, so the frontier always relates to it).
+    pub fn seed_config(&mut self, config: &TimelyConfig) -> PointOutcome {
+        self.consider(config).1
+    }
+
+    /// Runs one strategy to completion.
+    pub fn run(&mut self, strategy: &Strategy) {
+        match *strategy {
+            Strategy::Grid { max_points } => self.run_grid(max_points),
+            Strategy::Random { samples, seed } => self.run_random(samples, seed),
+            Strategy::HillClimb {
+                starts,
+                max_steps,
+                seed,
+            } => self.run_hill_climb(starts, max_steps, seed),
+        }
+    }
+
+    /// Builds the final report over everything evaluated so far.
+    pub fn report(&self) -> DseReport {
+        let with_serving = self.evaluator.serving_enabled();
+        let mut points = self.pool.clone();
+        points.sort_by(|a, b| {
+            let va = a.objectives.vector(with_serving);
+            let vb = b.objectives.vector(with_serving);
+            va.iter()
+                .zip(&vb)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or_else(|| a.config_hash.cmp(&b.config_hash))
+        });
+        let vectors: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| p.objectives.vector(with_serving))
+            .collect();
+        DseReport {
+            objective_labels: crate::evaluate::Objectives::labels(with_serving)
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            frontier: frontier_indices(&vectors),
+            ranks: dominance_ranks(&vectors),
+            points,
+            stats: self.evaluator.stats(),
+        }
+    }
+
+    /// Evaluates a configuration, pooling it if feasible and new. Returns
+    /// the hill-climb figure of merit (lower is better; `None` when the
+    /// point is pruned or infeasible).
+    fn consider(&mut self, config: &TimelyConfig) -> (Option<f64>, PointOutcome) {
+        let outcome = self.evaluator.evaluate(config);
+        let fom = match &outcome {
+            PointOutcome::Feasible(report) => {
+                if !self
+                    .pool
+                    .iter()
+                    .any(|p| p.config_hash == report.config_hash)
+                {
+                    self.pool.push(report.clone());
+                }
+                Some(figure_of_merit(
+                    &report.objectives.vector(self.evaluator.serving_enabled()),
+                ))
+            }
+            _ => None,
+        };
+        (fom, outcome)
+    }
+
+    fn consider_coords(&mut self, coords: &Coords) -> Option<f64> {
+        let config = self.space.decode(coords);
+        self.consider(&config).0
+    }
+
+    fn run_grid(&mut self, max_points: usize) {
+        let len = self.space.len();
+        let budget = max_points.clamp(1, len);
+        // Spread the budget over the index range as ⌊i·len/budget⌋ rather
+        // than a fixed stride: a stride sharing a factor with the
+        // fastest-varying axis's radix would always sample the same residue
+        // and skip whole axis values (e.g. an even stride over a trailing
+        // two-way feature axis would never visit the ablated variant).
+        for i in 0..budget {
+            let config = self.space.config_at(i * len / budget);
+            self.consider(&config);
+        }
+    }
+
+    fn run_random(&mut self, samples: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = self.space.len();
+        for _ in 0..samples {
+            let index = rng.gen_range(0..len);
+            let config = self.space.config_at(index);
+            self.consider(&config);
+        }
+    }
+
+    fn run_hill_climb(&mut self, starts: usize, max_steps: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sizes = self.space.axis_sizes();
+        for _ in 0..starts {
+            let mut coords: Coords = [0; crate::space::AXES];
+            for (axis, slot) in coords.iter_mut().enumerate() {
+                *slot = rng.gen_range(0..sizes[axis]);
+            }
+            // An infeasible start still climbs: any feasible neighbor beats
+            // an infinite figure of merit.
+            let mut current = self.consider_coords(&coords).unwrap_or(f64::INFINITY);
+            for _ in 0..max_steps {
+                let mut best: Option<(f64, Coords)> = None;
+                for neighbor in self.space.neighbors(&coords) {
+                    if let Some(fom) = self.consider_coords(&neighbor) {
+                        if fom < best.map_or(f64::INFINITY, |(f, _)| f) {
+                            best = Some((fom, neighbor));
+                        }
+                    }
+                }
+                match best {
+                    Some((fom, next)) if fom < current => {
+                        current = fom;
+                        coords = next;
+                    }
+                    _ => break, // local optimum
+                }
+            }
+        }
+    }
+}
+
+/// The hill-climb scalarization: the sum of the logs of the objectives (the
+/// log of their product), which is scale-free across axes with very
+/// different units. Non-finite or non-positive objectives yield `INFINITY`
+/// (never chosen).
+fn figure_of_merit(vector: &[f64]) -> f64 {
+    let mut fom = 0.0;
+    for &v in vector {
+        if !(v > 0.0 && v.is_finite()) {
+            return f64::INFINITY;
+        }
+        fom += v.ln();
+    }
+    fom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::Evaluator;
+    use timely_nn::zoo;
+
+    fn small_space() -> SearchSpace {
+        SearchSpace {
+            gammas: vec![4, 8, 16],
+            subchips_per_chip: vec![53, 106],
+            feature_sets: vec![timely_core::Features::all(), timely_core::Features::none()],
+            ..SearchSpace::paper_point()
+        }
+    }
+
+    fn explorer() -> Explorer {
+        Explorer::new(small_space(), Evaluator::new(vec![zoo::cnn_1()]))
+    }
+
+    #[test]
+    fn grid_covers_the_whole_space() {
+        let mut ex = explorer();
+        ex.run(&Strategy::Grid {
+            max_points: usize::MAX,
+        });
+        let report = ex.report();
+        assert_eq!(report.points.len(), 12);
+        assert!(!report.frontier.is_empty());
+        assert_eq!(report.stats.evaluations, 12);
+        assert_eq!(report.stats.pruned, 0);
+    }
+
+    #[test]
+    fn stride_sampled_grid_respects_the_budget() {
+        let mut ex = explorer();
+        ex.run(&Strategy::Grid { max_points: 5 });
+        let report = ex.report();
+        assert!(report.stats.evaluations <= 6);
+        assert!(report.stats.evaluations >= 4);
+    }
+
+    #[test]
+    fn random_revisits_hit_the_cache() {
+        let mut ex = explorer();
+        ex.run(&Strategy::Random {
+            samples: 50,
+            seed: 3,
+        });
+        let stats = ex.report().stats;
+        // 50 draws from 12 points must revisit.
+        assert!(stats.cache_hits > 0);
+        assert_eq!(stats.evaluations + stats.cache_hits, 50);
+    }
+
+    #[test]
+    fn hill_climb_finds_a_frontier_point() {
+        let mut ex = explorer();
+        ex.run(&Strategy::HillClimb {
+            starts: 3,
+            max_steps: 16,
+            seed: 11,
+        });
+        let climbed = ex.report();
+        assert!(!climbed.points.is_empty());
+        // The best-FoM climbed point survives against the full grid.
+        let mut full = explorer();
+        full.run(&Strategy::Grid {
+            max_points: usize::MAX,
+        });
+        let full_report = full.report();
+        let best_climbed = climbed
+            .points
+            .iter()
+            .map(|p| figure_of_merit(&p.objectives.vector(false)))
+            .fold(f64::INFINITY, f64::min);
+        let best_full = full_report
+            .points
+            .iter()
+            .map(|p| figure_of_merit(&p.objectives.vector(false)))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_climbed <= best_full + 1e-12);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let run = || {
+            let mut ex = explorer();
+            ex.run(&Strategy::Random {
+                samples: 20,
+                seed: 5,
+            });
+            ex.run(&Strategy::HillClimb {
+                starts: 2,
+                max_steps: 8,
+                seed: 6,
+            });
+            ex.report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seeded_paper_default_gets_a_verdict() {
+        let mut ex = explorer();
+        let cfg = TimelyConfig::paper_default();
+        ex.seed_config(&cfg);
+        ex.run(&Strategy::Grid {
+            max_points: usize::MAX,
+        });
+        let report = ex.report();
+        assert!(report.frontier_verdict(&cfg).is_some());
+        // A config outside the pool has no verdict.
+        let outside = TimelyConfig {
+            chips: 64,
+            ..TimelyConfig::paper_default()
+        };
+        assert!(report.frontier_verdict(&outside).is_none());
+    }
+
+    #[test]
+    fn frontier_points_do_not_dominate_each_other() {
+        let mut ex = explorer();
+        ex.run(&Strategy::Grid {
+            max_points: usize::MAX,
+        });
+        let report = ex.report();
+        let vectors: Vec<Vec<f64>> = report
+            .frontier_points()
+            .map(|p| p.objectives.vector(false))
+            .collect();
+        for (i, a) in vectors.iter().enumerate() {
+            for (j, b) in vectors.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(a, b), "frontier point {i} dominates {j}");
+                }
+            }
+        }
+    }
+}

@@ -78,6 +78,16 @@ pub fn serving_benchmarks() -> Vec<Model> {
     vec![vgg_d(), resnet_18(), squeezenet()]
 }
 
+/// The workload set of the design-space explorer (`timely-dse`): one tiny
+/// CNN (CNN-1), one compact modern network (SqueezeNet), and one residual
+/// network (ResNet-18). Chosen so most candidate configurations can map all
+/// three — a workload that only fits the largest designs would make the
+/// whole space look infeasible — while still spanning two orders of
+/// magnitude in MACs.
+pub fn dse_benchmarks() -> Vec<Model> {
+    vec![cnn_1(), squeezenet(), resnet_18()]
+}
+
 /// Looks up a benchmark model by its (case-insensitive) name.
 ///
 /// Returns `None` when no benchmark with that name exists.

@@ -14,7 +14,7 @@
 use crate::event::EventQueue;
 use crate::scheduler::{FleetLayout, Policy, Router, Sharding};
 use crate::stats::{ChipStats, LatencyStats, ModelStats, SimReport};
-use crate::traffic::{ArrivalProcess, OpenLoopSource, TrafficSpec};
+use crate::traffic::{ArrivalProcess, ModelMix, OpenLoopSource, TrafficSpec};
 use rand::distributions::{Distribution, Exp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -520,10 +520,73 @@ impl<'a> Run<'a> {
     }
 }
 
+/// Batch-evaluation entry point for design-space exploration (`timely-dse`):
+/// simulates a uniform mix of `models` on a fleet of `chip_config.chips`
+/// replicated chips under open-loop Poisson traffic at `load` × the fleet's
+/// mix capacity, for approximately `requests` arrivals, and returns the run's
+/// [`SimReport`].
+///
+/// The fleet's mix capacity is conservatively taken as the slowest model's
+/// per-chip rate times the chip count, so `load < 1` keeps every model's
+/// share below saturation. Runs are fully deterministic in `seed`, which is
+/// what lets the explorer memo-cache serving objectives by configuration
+/// hash.
+///
+/// # Errors
+///
+/// Propagates profiling errors (invalid configuration, a model too large for
+/// one chip).
+///
+/// # Panics
+///
+/// Panics if `models` is empty, or if `load` or `requests` is not a positive
+/// finite number.
+pub fn serving_check(
+    models: &[Model],
+    chip_config: &TimelyConfig,
+    load: f64,
+    requests: f64,
+    seed: u64,
+) -> Result<SimReport, ArchError> {
+    assert!(load > 0.0 && load.is_finite(), "load must be > 0");
+    assert!(
+        requests >= 1.0 && requests.is_finite(),
+        "requests must be >= 1"
+    );
+    let sim = ServingSimulator::new(
+        models,
+        chip_config,
+        SimConfig {
+            seed,
+            // Placeholder horizon; replaced below once capacity is known.
+            duration_s: 1.0,
+            chips: chip_config.chips.max(1),
+            policy: Policy::ShortestQueue,
+            sharding: Sharding::Replicate,
+        },
+    )?;
+    let capacity = (0..models.len())
+        .map(|m| sim.fleet_capacity_rps(m))
+        .fold(f64::INFINITY, f64::min);
+    let rate = load * capacity;
+    let max_latency = sim
+        .profiles()
+        .iter()
+        .map(|p| p.latency_s)
+        .fold(0.0, f64::max);
+    let mut sim = sim;
+    // Keep the horizon well above the unqueued latency so in-flight
+    // censoring at the horizon stays negligible.
+    sim.config.duration_s = (requests / rate).max(20.0 * max_latency);
+    Ok(sim.run(&TrafficSpec {
+        process: ArrivalProcess::Poisson { rate },
+        mix: ModelMix::uniform(models.len()),
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::ModelMix;
     use timely_nn::zoo;
 
     fn profile_cnn_1() -> ModelProfile {
@@ -733,5 +796,27 @@ mod tests {
         assert!(report.energy_mj_per_request >= per_req * 0.999);
         let issued: u64 = report.chips.iter().map(|c| c.issued).sum();
         assert!((report.total_energy_mj - issued as f64 * per_req).abs() < 1e-9 * issued as f64);
+    }
+
+    #[test]
+    fn serving_check_is_deterministic_and_stays_below_saturation() {
+        let models = [zoo::cnn_1(), zoo::mlp_l()];
+        let cfg = TimelyConfig::paper_default();
+        let a = serving_check(&models, &cfg, 0.3, 200.0, 9).unwrap();
+        let b = serving_check(&models, &cfg, 0.3, 200.0, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(a.completed > 100);
+        // At 30% of the slowest model's capacity nothing piles up.
+        assert!(a.backlog < a.offered / 10);
+        assert!(a.latency.p99_ms > 0.0);
+    }
+
+    #[test]
+    fn serving_check_propagates_model_too_large() {
+        let tiny = TimelyConfig {
+            subchips_per_chip: 1,
+            ..TimelyConfig::paper_default()
+        };
+        assert!(serving_check(&[zoo::vgg_d()], &tiny, 0.5, 50.0, 1).is_err());
     }
 }

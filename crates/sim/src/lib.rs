@@ -63,7 +63,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod traffic;
 
-pub use engine::{ModelProfile, ServingSimulator, SimConfig};
+pub use engine::{serving_check, ModelProfile, ServingSimulator, SimConfig};
 pub use event::EventQueue;
 pub use scheduler::{FleetLayout, Policy, Sharding};
 pub use stats::{ChipStats, LatencyStats, ModelStats, SimReport};

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the whole workspace must build in release mode and the
-# full test suite (unit + integration + doc tests) must pass. Everything is
-# offline: all external dependencies are path stubs under vendor/.
+# full test suite (unit + integration + doc tests, including the golden-file
+# snapshots under tests/golden/) must pass. Everything is offline: all
+# external dependencies are path stubs under vendor/.
+#
+# Time knobs for slow machines: PROPTEST_CASES caps property-test cases and
+# GOLDEN_RUNS=0 skips the golden-file binary runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,5 +13,7 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 cargo test -q -p timely-sim
+cargo test -q -p timely-dse
 cargo run --release -p timely-bench --bin serving_study -- --smoke > /dev/null
+cargo run --release -p timely-bench --bin dse_study -- --smoke > /dev/null
 echo "tier-1 verify: OK"

@@ -12,7 +12,10 @@
 //!   reference models,
 //! * [`sim`] — a deterministic discrete-event serving simulator (traffic
 //!   generation, batching, multi-chip sharding, latency percentiles) layered
-//!   on the architecture model.
+//!   on the architecture model,
+//! * [`dse`] — a deterministic multi-objective design-space explorer
+//!   (declarative search spaces, grid/random/hill-climb strategies,
+//!   constraint pruning, memo-cached evaluation, Pareto frontiers).
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 pub use timely_analog as analog;
 pub use timely_baselines as baselines;
 pub use timely_core as arch;
+pub use timely_dse as dse;
 pub use timely_nn as nn;
 pub use timely_sim as sim;
 
@@ -46,6 +50,9 @@ pub mod prelude {
         Accelerator, AtomLayerModel, EyerissModel, IsaacModel, PipeLayerModel, PrimeModel,
     };
     pub use timely_core::{EvalReport, TimelyAccelerator, TimelyConfig};
+    pub use timely_dse::{
+        Constraints, DseReport, Evaluator, Explorer, SearchSpace, ServingCheck, Strategy,
+    };
     pub use timely_nn::{Model, ModelBuilder};
     pub use timely_sim::{
         ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, SimReport,
