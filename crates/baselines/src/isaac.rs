@@ -17,9 +17,12 @@
 //! Per-event energies are calibrated so the VGG-scale breakdown reproduces
 //! Fig. 4(c); the peak numbers are ISAAC's published values (Table IV).
 
-use crate::traits::{Accelerator, BaselineError, BaselineReport, EnergyByCategory, PeakSpec};
 use serde::{Deserialize, Serialize};
 use timely_analog::{Energy, Time};
+use timely_core::backend::{fold_cache_key, stable_hash_of};
+use timely_core::{
+    Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, PeakSpec, ServicePhysics,
+};
 use timely_nn::workload::{LayerWorkload, ModelWorkload};
 use timely_nn::Model;
 
@@ -52,6 +55,9 @@ pub struct IsaacConfig {
     pub pipeline_stages: u64,
     /// Pipeline cycle time (100 ns).
     pub cycle_time: Time,
+    /// Published chip area in mm² (85.4 mm², ISAAC paper Table 6), used for
+    /// the cross-backend area axis.
+    pub chip_area_mm2: f64,
 }
 
 impl IsaacConfig {
@@ -71,6 +77,7 @@ impl IsaacConfig {
             crossbar_column: Energy::from_femtojoules(300.0),
             pipeline_stages: 22,
             cycle_time: Time::from_nanoseconds(100.0),
+            chip_area_mm2: 85.4,
         }
     }
 
@@ -143,10 +150,10 @@ impl IsaacModel {
         total
     }
 
-    /// Steady-state throughput. ISAAC pipelines across layers (balanced
-    /// inter-layer pipeline) but needs `pipeline_stages` cycles per 16-bit MAC
-    /// wave.
-    pub fn throughput(&self, workload: &ModelWorkload) -> f64 {
+    /// Per-layer wave counts of ISAAC's balanced inter-layer pipeline:
+    /// output positions divided by the weight-duplication factor the chip's
+    /// crossbar budget affords each layer.
+    fn layer_waves(&self, workload: &ModelWorkload) -> Vec<u64> {
         let cfg = &self.config;
         let b = cfg.crossbar_size;
         let available = cfg.crossbars_per_chip * cfg.chips as u64;
@@ -171,21 +178,45 @@ impl IsaacModel {
         } else {
             1.0
         };
-        let bottleneck: u64 = crossbars
+        positions
             .iter()
-            .zip(&positions)
-            .map(|(_, &pos)| {
+            .map(|&pos| {
                 let dup = ((scale * pos as f64).floor() as u64).clamp(1, pos.max(1));
                 pos.div_ceil(dup)
             })
-            .max()
-            .unwrap_or(1);
-        // Each wave of outputs occupies the 22-stage pipeline; in steady state
-        // a new wave completes every `input_bits + cells` cycles (the serial
-        // input bits dominate), which the paper summarizes as 22 cycles per
-        // 16-bit MAC.
-        let wave_time = cfg.cycle_time * cfg.pipeline_stages as f64;
-        1.0 / (bottleneck as f64 * wave_time.as_seconds())
+            .collect()
+    }
+
+    /// The wall-clock time of one wave of outputs: each wave occupies the
+    /// 22-stage pipeline; in steady state a new wave completes every
+    /// `input_bits + cells` cycles (the serial input bits dominate), which
+    /// the paper summarizes as 22 cycles per 16-bit MAC.
+    fn wave_time(&self) -> Time {
+        self.config.cycle_time * self.config.pipeline_stages as f64
+    }
+
+    /// The serving physics: one pipeline stage per layer, the slowest layer
+    /// setting the initiation interval (ISAAC's inter-layer pipeline).
+    pub fn physics(&self, workload: &ModelWorkload) -> ServicePhysics {
+        let wave_time = self.wave_time();
+        let stage_latencies: Vec<Time> = self
+            .layer_waves(workload)
+            .iter()
+            .map(|&waves| wave_time * waves as f64)
+            .collect();
+        let bottleneck = stage_latencies.iter().copied().fold(wave_time, Time::max);
+        let total: Time = stage_latencies.iter().copied().sum();
+        ServicePhysics {
+            initiation_interval: bottleneck,
+            stage_latencies,
+            single_inference_latency: total.max(wave_time),
+        }
+    }
+
+    /// Steady-state throughput: ISAAC pipelines across layers, so a new
+    /// inference completes once per bottleneck-layer stage.
+    pub fn throughput(&self, workload: &ModelWorkload) -> f64 {
+        self.physics(workload).inferences_per_second()
     }
 
     /// Whether the model's weights fit on the configured chips.
@@ -203,9 +234,9 @@ impl Default for IsaacModel {
     }
 }
 
-impl Accelerator for IsaacModel {
-    fn name(&self) -> &str {
-        "ISAAC"
+impl Backend for IsaacModel {
+    fn id(&self) -> BackendId {
+        BackendId::Isaac
     }
 
     fn peak(&self) -> PeakSpec {
@@ -217,14 +248,30 @@ impl Accelerator for IsaacModel {
         }
     }
 
-    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
+    fn cache_key(&self) -> u64 {
+        fold_cache_key(self.id().stable_tag(), stable_hash_of(&self.config))
+    }
+
+    fn evaluate(&self, model: &Model) -> Result<EvalOutcome, EvalError> {
         let workload = ModelWorkload::try_analyze(model)?;
-        Ok(BaselineReport {
-            accelerator: self.name().to_string(),
+        if !self.fits(&workload) {
+            return Err(EvalError::Unsupported {
+                backend: self.id(),
+                reason: format!(
+                    "{} weights exceed the capacity of {} chip(s)",
+                    workload.total_weights(),
+                    self.config.chips
+                ),
+            });
+        }
+        Ok(EvalOutcome {
+            backend: self.id(),
             model_name: model.name().to_string(),
             total_macs: workload.total_macs(),
             energy: self.energy(&workload),
-            inferences_per_second: self.throughput(&workload),
+            area_mm2: self.config.chip_area_mm2 * self.config.chips as f64,
+            physics: self.physics(&workload),
+            peak: Backend::peak(self),
         })
     }
 }
@@ -286,10 +333,21 @@ mod tests {
 
     #[test]
     fn evaluate_via_the_trait() {
-        let report = IsaacModel::default().evaluate(&zoo::cnn_1()).unwrap();
-        assert_eq!(report.accelerator, "ISAAC");
-        assert!(report.energy.total().as_femtojoules() > 0.0);
-        assert!(report.inferences_per_second > 0.0);
+        let outcome = IsaacModel::default().evaluate(&zoo::cnn_1()).unwrap();
+        assert_eq!(outcome.backend, BackendId::Isaac);
+        assert!(outcome.energy.total().as_femtojoules() > 0.0);
+        assert!(outcome.inferences_per_second() > 0.0);
+        assert!(outcome.area_mm2 > 0.0);
+        // Inter-layer pipelining: the bottleneck stage is the initiation
+        // interval and the end-to-end latency spans all stages.
+        let physics = &outcome.physics;
+        let max_stage = physics
+            .stage_latencies
+            .iter()
+            .copied()
+            .fold(timely_analog::Time::from_seconds(0.0), Time::max);
+        assert_eq!(physics.initiation_interval, max_stage);
+        assert!(physics.single_inference_latency >= physics.initiation_interval);
     }
 
     #[test]
@@ -302,7 +360,14 @@ mod tests {
         // ~33 M-weight capacity — which is why the paper only evaluates it on
         // 32- and 64-chip configurations.
         assert!(!isaac.fits(&msra3));
+        // The trait answers Unsupported rather than producing a meaningless
+        // single-chip report.
+        assert!(matches!(
+            isaac.evaluate(&zoo::msra_3()),
+            Err(EvalError::Unsupported { .. })
+        ));
         let sixteen_chips = IsaacModel::new(IsaacConfig::paper_default().with_chips(16));
         assert!(sixteen_chips.fits(&msra3));
+        assert!(sixteen_chips.evaluate(&zoo::msra_3()).is_ok());
     }
 }

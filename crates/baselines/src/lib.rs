@@ -17,9 +17,11 @@
 //! * [`prime_alb`] — PRIME with TIMELY's ALB + O2IR principles applied to its
 //!   FF subarrays (the generalization study of Fig. 11).
 //!
-//! All models implement the [`Accelerator`] trait so the benchmark harness
-//! can sweep them uniformly; `timely_core::TimelyAccelerator` gets a blanket
-//! implementation via [`traits`].
+//! All models implement the workspace-wide
+//! [`Backend`](timely_core::Backend) trait, so the serving simulator, the
+//! design-space explorer, and the bench harness sweep them uniformly;
+//! [`registry`] returns every registered backend (TIMELY included) as one
+//! `Vec<Box<dyn Backend>>`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,10 +30,102 @@ pub mod isaac;
 pub mod prime;
 pub mod prime_alb;
 pub mod simple;
-pub mod traits;
 
 pub use isaac::IsaacModel;
 pub use prime::PrimeModel;
 pub use prime_alb::{IntraBankEnergy, PrimeWithAlbO2ir};
 pub use simple::{AtomLayerModel, EyerissModel, PipeLayerModel};
-pub use traits::{Accelerator, BaselineError, BaselineReport, EnergyByCategory, PeakSpec};
+pub use timely_core::{
+    Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, PeakSpec, ServicePhysics,
+};
+
+use timely_core::{TimelyAccelerator, TimelyConfig};
+
+/// Every registered backend at its published (paper-default) design point:
+/// TIMELY first, then the five baselines. This is what the bench binaries
+/// and the conformance test suite iterate — adding a backend to the
+/// workspace means implementing [`Backend`] and appending it here.
+pub fn registry() -> Vec<Box<dyn Backend>> {
+    let mut backends: Vec<Box<dyn Backend>> = vec![Box::new(TimelyAccelerator::new(
+        TimelyConfig::paper_default(),
+    ))];
+    backends.extend(baseline_registry());
+    backends
+}
+
+/// The five baseline backends (everything in [`registry`] except TIMELY),
+/// used where TIMELY is the subject under study and the baselines are fixed
+/// reference points (e.g. the cross-architecture Pareto frontier).
+pub fn baseline_registry() -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(PrimeModel::default()),
+        // 8 chips so ISAAC's VGG-scale benchmark suite (≥133 M weights, far
+        // above one chip's ~33 M-weight capacity) stays resident, as in its
+        // published multi-chip evaluations; per-inference energy is
+        // chip-count-independent in the event-count model.
+        Box::new(IsaacModel::new(
+            isaac::IsaacConfig::paper_default().with_chips(8),
+        )),
+        Box::new(PipeLayerModel::new()),
+        Box::new(AtomLayerModel::new()),
+        Box::new(EyerissModel::new()),
+    ]
+}
+
+/// The chip-scalable backends configured with `chips` chips each — the
+/// throughput study of Fig. 8(b). The peak-derived models (PipeLayer,
+/// AtomLayer) and the Eyeriss reference publish no multi-chip scaling, so
+/// they are not included.
+pub fn registry_with_chips(chips: usize) -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(TimelyAccelerator::new(
+            TimelyConfig::builder()
+                .chips(chips)
+                .build()
+                .expect("paper default with a chip count is valid"),
+        )),
+        Box::new(PrimeModel::new(
+            prime::PrimeConfig::paper_default().with_chips(chips),
+        )),
+        Box::new(IsaacModel::new(
+            isaac::IsaacConfig::paper_default().with_chips(chips),
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_timely_plus_all_baselines() {
+        let ids: Vec<BackendId> = registry().iter().map(|b| b.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                BackendId::Timely,
+                BackendId::Prime,
+                BackendId::Isaac,
+                BackendId::PipeLayer,
+                BackendId::AtomLayer,
+                BackendId::Eyeriss,
+            ]
+        );
+        assert_eq!(baseline_registry().len(), registry().len() - 1);
+    }
+
+    #[test]
+    fn chip_scaled_registry_has_distinct_cache_keys_per_chip_count() {
+        let one = registry_with_chips(1);
+        let sixteen = registry_with_chips(16);
+        for (a, b) in one.iter().zip(&sixteen) {
+            assert_eq!(a.id(), b.id());
+            assert_ne!(
+                a.cache_key(),
+                b.cache_key(),
+                "{} cache key ignores the chip count",
+                a.name()
+            );
+        }
+    }
+}

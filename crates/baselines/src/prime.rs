@@ -22,9 +22,12 @@
 //! DAC ≈0 %) and the absolute scale matches Fig. 9's milli-joule range; the
 //! peak numbers are PRIME's published values (Table IV).
 
-use crate::traits::{Accelerator, BaselineError, BaselineReport, EnergyByCategory, PeakSpec};
 use serde::{Deserialize, Serialize};
 use timely_analog::{Energy, Time};
+use timely_core::backend::{fold_cache_key, stable_hash_of};
+use timely_core::{
+    Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, PeakSpec, ServicePhysics,
+};
 use timely_nn::workload::{LayerWorkload, ModelWorkload};
 use timely_nn::Model;
 
@@ -64,6 +67,11 @@ pub struct PrimeConfig {
     /// Latency of one sequential compute wave (buffer read, drive, analog
     /// compute, sense, write back) — PRIME has no intra-pipeline overlap.
     pub wave_latency: Time,
+    /// Chip area attributed to PRIME's compute capability, in mm² (a coarse
+    /// constant for the cross-backend area axis: PRIME lives inside a ReRAM
+    /// main-memory chip, so this is the area of the compute-capable region
+    /// implied by its published computational density, not a die size).
+    pub chip_area_mm2: f64,
 }
 
 impl PrimeConfig {
@@ -85,6 +93,7 @@ impl PrimeConfig {
             sense_cycles: 4.0,
             crossbar_column: Energy::from_femtojoules(1_792.0),
             wave_latency: Time::from_nanoseconds(300.0),
+            chip_area_mm2: 90.0,
         }
     }
 
@@ -212,10 +221,9 @@ impl PrimeModel {
         }
     }
 
-    /// The throughput of one inference stream. PRIME executes layers
-    /// sequentially (no inter-layer pipeline) with weight duplication bounded
-    /// by its 1 024-crossbar compute budget per chip.
-    pub fn throughput(&self, workload: &ModelWorkload) -> f64 {
+    /// Per-layer wave counts: output positions (times input phases) divided
+    /// by the weight duplication the 1 024-crossbar compute budget affords.
+    fn layer_waves(&self, workload: &ModelWorkload) -> Vec<u64> {
         let cfg = &self.config;
         let b = cfg.crossbar_size;
         let available = cfg.crossbars_per_chip * cfg.chips as u64;
@@ -240,15 +248,42 @@ impl PrimeModel {
         } else {
             1.0
         };
-        let total_waves: u64 = crossbars
+        positions
             .iter()
-            .zip(&positions)
-            .map(|(_, &pos)| {
+            .map(|&pos| {
                 let dup = ((scale * pos as f64).floor() as u64).clamp(1, pos.max(1));
                 pos.div_ceil(dup)
             })
-            .sum();
-        1.0 / (total_waves as f64 * cfg.wave_latency.as_seconds())
+            .collect()
+    }
+
+    /// The serving physics. PRIME executes layers sequentially (no
+    /// inter-layer pipeline), so the initiation interval spans the whole
+    /// inference: the next request cannot start until the last layer's waves
+    /// finish.
+    pub fn physics(&self, workload: &ModelWorkload) -> ServicePhysics {
+        let wave_latency = self.config.wave_latency;
+        let stage_latencies: Vec<Time> = self
+            .layer_waves(workload)
+            .iter()
+            .map(|&waves| wave_latency * waves as f64)
+            .collect();
+        let total = stage_latencies
+            .iter()
+            .copied()
+            .sum::<Time>()
+            .max(wave_latency);
+        ServicePhysics {
+            initiation_interval: total,
+            stage_latencies,
+            single_inference_latency: total,
+        }
+    }
+
+    /// The throughput of one inference stream, with weight duplication
+    /// bounded by PRIME's 1 024-crossbar compute budget per chip.
+    pub fn throughput(&self, workload: &ModelWorkload) -> f64 {
+        self.physics(workload).inferences_per_second()
     }
 }
 
@@ -258,9 +293,9 @@ impl Default for PrimeModel {
     }
 }
 
-impl Accelerator for PrimeModel {
-    fn name(&self) -> &str {
-        "PRIME"
+impl Backend for PrimeModel {
+    fn id(&self) -> BackendId {
+        BackendId::Prime
     }
 
     fn peak(&self) -> PeakSpec {
@@ -272,14 +307,23 @@ impl Accelerator for PrimeModel {
         }
     }
 
-    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
+    fn cache_key(&self) -> u64 {
+        fold_cache_key(self.id().stable_tag(), stable_hash_of(&self.config))
+    }
+
+    fn evaluate(&self, model: &Model) -> Result<EvalOutcome, EvalError> {
+        // PRIME is embedded in a ReRAM main memory, so weights that exceed
+        // the FF subarrays spill to the next memory level instead of making
+        // the model unsupported.
         let workload = ModelWorkload::try_analyze(model)?;
-        Ok(BaselineReport {
-            accelerator: self.name().to_string(),
+        Ok(EvalOutcome {
+            backend: self.id(),
             model_name: model.name().to_string(),
             total_macs: workload.total_macs(),
             energy: self.energy(&workload),
-            inferences_per_second: self.throughput(&workload),
+            area_mm2: self.config.chip_area_mm2 * self.config.chips as f64,
+            physics: self.physics(&workload),
+            peak: Backend::peak(self),
         })
     }
 }
@@ -360,10 +404,21 @@ mod tests {
 
     #[test]
     fn evaluate_via_the_trait() {
-        let report = PrimeModel::default().evaluate(&zoo::cnn_1()).unwrap();
-        assert_eq!(report.accelerator, "PRIME");
-        assert!(report.tops_per_watt() > 0.0);
-        assert!(report.inferences_per_second > 0.0);
+        let outcome = PrimeModel::default().evaluate(&zoo::cnn_1()).unwrap();
+        assert_eq!(outcome.backend, BackendId::Prime);
+        assert!(outcome.tops_per_watt() > 0.0);
+        assert!(outcome.inferences_per_second() > 0.0);
+        // Sequential execution: no overlap between inferences, so the
+        // initiation interval is the whole single-inference latency.
+        assert_eq!(
+            outcome.physics.initiation_interval,
+            outcome.physics.single_inference_latency
+        );
+        let stage_sum: Time = outcome.physics.stage_latencies.iter().copied().sum();
+        assert!(
+            (stage_sum.as_seconds() - outcome.physics.initiation_interval.as_seconds()).abs()
+                < 1e-15
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! movement energy, which drops by ≈68 %.
 
 use crate::prime::{PrimeConfig, PrimeModel};
-use crate::traits::BaselineError;
 use serde::{Deserialize, Serialize};
 use timely_analog::{ComponentLibrary, Energy};
+use timely_core::EvalError;
 use timely_nn::workload::ModelWorkload;
 use timely_nn::Model;
 
@@ -67,7 +67,7 @@ impl PrimeWithAlbO2ir {
     /// # Errors
     ///
     /// Propagates workload-analysis errors.
-    pub fn intra_bank_energy(&self, model: &Model) -> Result<IntraBankEnergy, BaselineError> {
+    pub fn intra_bank_energy(&self, model: &Model) -> Result<IntraBankEnergy, EvalError> {
         let workload = ModelWorkload::try_analyze(model)?;
         Ok(self.intra_bank_energy_for(&workload))
     }

@@ -8,9 +8,11 @@
 //! Fig. 1(a). These models mirror that level of detail: per-op energies are
 //! derived from published aggregate numbers and split into fixed fractions.
 
-use crate::traits::{Accelerator, BaselineError, BaselineReport, EnergyByCategory, PeakSpec};
 use serde::{Deserialize, Serialize};
-use timely_analog::Energy;
+use timely_analog::{Energy, Time};
+use timely_core::{
+    Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, PeakSpec, ServicePhysics,
+};
 use timely_nn::workload::ModelWorkload;
 use timely_nn::Model;
 
@@ -18,7 +20,7 @@ use timely_nn::Model;
 /// charging every MAC the peak-implied energy scaled by a derating factor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PeakDerivedModel {
-    name: String,
+    id: BackendId,
     peak: PeakSpec,
     /// Benchmark-level energy per op is `derating ×` the peak-implied energy
     /// (real workloads never hit peak utilization).
@@ -28,10 +30,13 @@ struct PeakDerivedModel {
     split: [f64; 6],
     /// Throughput in inferences per second per tera-MAC of work (coarse).
     inferences_per_tera_mac: f64,
+    /// Chip area in mm² for the cross-backend area axis (published die size
+    /// where available, otherwise a documented estimate).
+    chip_area_mm2: f64,
 }
 
 impl PeakDerivedModel {
-    fn report(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
+    fn outcome(&self, model: &Model) -> Result<EvalOutcome, EvalError> {
         let workload = ModelWorkload::try_analyze(model)?;
         let macs = workload.total_macs();
         // Peak efficiency in TOPs/W means 1/peak pJ per op at best.
@@ -45,12 +50,17 @@ impl PeakDerivedModel {
             compute: total * self.split[4],
             other: total * self.split[5],
         };
-        Ok(BaselineReport {
-            accelerator: self.name.clone(),
+        let ips = self.inferences_per_tera_mac * 1e12 / macs.max(1) as f64;
+        Ok(EvalOutcome {
+            backend: self.id,
             model_name: model.name().to_string(),
             total_macs: macs,
             energy,
-            inferences_per_second: self.inferences_per_tera_mac * 1e12 / macs.max(1) as f64,
+            area_mm2: self.chip_area_mm2,
+            // No per-stage design detail is published, so the whole
+            // inference is modeled as one sequential stage.
+            physics: ServicePhysics::sequential(Time::from_seconds(1.0 / ips)),
+            peak: self.peak,
         })
     }
 }
@@ -67,7 +77,7 @@ impl PipeLayerModel {
     pub fn new() -> Self {
         Self {
             inner: PeakDerivedModel {
-                name: "PipeLayer".to_string(),
+                id: BackendId::PipeLayer,
                 peak: PeakSpec {
                     tops_per_watt: 0.14,
                     tops_per_mm2: 1.49,
@@ -76,6 +86,8 @@ impl PipeLayerModel {
                 derating: 1.5,
                 split: [0.20, 0.30, 0.05, 0.25, 0.15, 0.05],
                 inferences_per_tera_mac: 200.0,
+                // Published die size (PipeLayer paper: 82.6 mm²).
+                chip_area_mm2: 82.6,
             },
         }
     }
@@ -87,17 +99,17 @@ impl Default for PipeLayerModel {
     }
 }
 
-impl Accelerator for PipeLayerModel {
-    fn name(&self) -> &str {
-        &self.inner.name
+impl Backend for PipeLayerModel {
+    fn id(&self) -> BackendId {
+        self.inner.id
     }
 
     fn peak(&self) -> PeakSpec {
         self.inner.peak
     }
 
-    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
-        self.inner.report(model)
+    fn evaluate(&self, model: &Model) -> Result<EvalOutcome, EvalError> {
+        self.inner.outcome(model)
     }
 }
 
@@ -113,7 +125,7 @@ impl AtomLayerModel {
     pub fn new() -> Self {
         Self {
             inner: PeakDerivedModel {
-                name: "AtomLayer".to_string(),
+                id: BackendId::AtomLayer,
                 peak: PeakSpec {
                     tops_per_watt: 0.68,
                     tops_per_mm2: 0.48,
@@ -122,6 +134,9 @@ impl AtomLayerModel {
                 derating: 1.5,
                 split: [0.25, 0.35, 0.05, 0.20, 0.10, 0.05],
                 inferences_per_tera_mac: 120.0,
+                // No die size published; estimated from the published
+                // computational density's order of magnitude.
+                chip_area_mm2: 60.0,
             },
         }
     }
@@ -133,17 +148,17 @@ impl Default for AtomLayerModel {
     }
 }
 
-impl Accelerator for AtomLayerModel {
-    fn name(&self) -> &str {
-        &self.inner.name
+impl Backend for AtomLayerModel {
+    fn id(&self) -> BackendId {
+        self.inner.id
     }
 
     fn peak(&self) -> PeakSpec {
         self.inner.peak
     }
 
-    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
-        self.inner.report(model)
+    fn evaluate(&self, model: &Model) -> Result<EvalOutcome, EvalError> {
+        self.inner.outcome(model)
     }
 }
 
@@ -162,6 +177,8 @@ pub struct EyerissModel {
     pub psum_per_mac: Energy,
     /// Energy of the MAC arithmetic itself.
     pub compute_per_mac: Energy,
+    /// Die area in mm² (Eyeriss: a 3.5 mm × 3.5 mm 65 nm die).
+    pub chip_area_mm2: f64,
 }
 
 impl EyerissModel {
@@ -174,6 +191,7 @@ impl EyerissModel {
             weight_per_mac: Energy::from_picojoules(1.36),
             psum_per_mac: Energy::from_picojoules(1.87),
             compute_per_mac: Energy::from_picojoules(0.45),
+            chip_area_mm2: 12.25,
         }
     }
 
@@ -195,9 +213,9 @@ impl Default for EyerissModel {
     }
 }
 
-impl Accelerator for EyerissModel {
-    fn name(&self) -> &str {
-        "Eyeriss"
+impl Backend for EyerissModel {
+    fn id(&self) -> BackendId {
+        BackendId::Eyeriss
     }
 
     fn peak(&self) -> PeakSpec {
@@ -210,7 +228,7 @@ impl Accelerator for EyerissModel {
         }
     }
 
-    fn evaluate(&self, model: &Model) -> Result<BaselineReport, BaselineError> {
+    fn evaluate(&self, model: &Model) -> Result<EvalOutcome, EvalError> {
         let workload = ModelWorkload::try_analyze(model)?;
         let macs = workload.total_macs();
         let energy = EnergyByCategory {
@@ -223,12 +241,15 @@ impl Accelerator for EyerissModel {
             compute: self.compute_per_mac * macs as f64,
             other: Energy::ZERO,
         };
-        Ok(BaselineReport {
-            accelerator: "Eyeriss".to_string(),
+        let ips = 35e9 / macs.max(1) as f64;
+        Ok(EvalOutcome {
+            backend: self.id(),
             model_name: model.name().to_string(),
             total_macs: macs,
             energy,
-            inferences_per_second: 35e9 / macs.max(1) as f64,
+            area_mm2: self.chip_area_mm2,
+            physics: ServicePhysics::sequential(Time::from_seconds(1.0 / ips)),
+            peak: Backend::peak(self),
         })
     }
 }
@@ -249,10 +270,10 @@ mod tests {
     #[test]
     fn peak_derived_energy_never_beats_peak() {
         for model in [zoo::cnn_1(), zoo::vgg_1()] {
-            let report = PipeLayerModel::new().evaluate(&model).unwrap();
-            assert!(report.tops_per_watt() <= 0.14 + 1e-9);
-            let report = AtomLayerModel::new().evaluate(&model).unwrap();
-            assert!(report.tops_per_watt() <= 0.68 + 1e-9);
+            let outcome = PipeLayerModel::new().evaluate(&model).unwrap();
+            assert!(outcome.tops_per_watt() <= 0.14 + 1e-9);
+            let outcome = AtomLayerModel::new().evaluate(&model).unwrap();
+            assert!(outcome.tops_per_watt() <= 0.68 + 1e-9);
         }
     }
 
@@ -266,8 +287,8 @@ mod tests {
 
     #[test]
     fn eyeriss_data_movement_dominates() {
-        let report = EyerissModel::new().evaluate(&zoo::vgg_d()).unwrap();
-        let share = report.energy.data_movement() / report.energy.total();
+        let outcome = EyerissModel::new().evaluate(&zoo::vgg_d()).unwrap();
+        let share = outcome.energy.data_movement() / outcome.energy.total();
         assert!(share > 0.85, "movement share {share:.3}");
     }
 
@@ -286,5 +307,17 @@ mod tests {
             assert!(AtomLayerModel::new().evaluate(&model).is_ok());
             assert!(EyerissModel::new().evaluate(&model).is_ok());
         }
+    }
+
+    #[test]
+    fn sequential_physics_matches_the_reported_throughput() {
+        let outcome = PipeLayerModel::new().evaluate(&zoo::cnn_1()).unwrap();
+        assert_eq!(outcome.physics.stage_latencies.len(), 1);
+        assert_eq!(
+            outcome.physics.initiation_interval,
+            outcome.physics.single_inference_latency
+        );
+        assert!(outcome.inferences_per_second() > 0.0);
+        assert!(outcome.area_mm2 > 0.0);
     }
 }

@@ -2,7 +2,7 @@
 //! to evaluate a model on TIMELY and on the baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use timely_baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely_baselines::{Backend, IsaacModel, PrimeModel};
 use timely_core::{TimelyAccelerator, TimelyConfig};
 use timely_nn::zoo;
 
@@ -21,7 +21,9 @@ fn bench_timely_evaluate(c: &mut Criterion) {
 
 fn bench_baseline_evaluate(c: &mut Criterion) {
     let prime = PrimeModel::default();
-    let isaac = IsaacModel::default();
+    // 8 chips hold VGG-1's weights; one ISAAC chip would answer Unsupported.
+    let isaac =
+        IsaacModel::new(timely_baselines::isaac::IsaacConfig::paper_default().with_chips(8));
     let model = zoo::vgg_1();
     let mut group = c.benchmark_group("baseline_evaluate");
     group.bench_function("prime_vgg1", |b| {

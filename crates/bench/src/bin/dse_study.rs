@@ -8,11 +8,12 @@
 //! `--smoke` for a fast CI-sized run. Everything is seeded, so repeated runs
 //! print byte-identical output (pinned by a golden-file test).
 
+use timely_baselines::baseline_registry;
 use timely_bench::table::Table;
 use timely_core::{Features, TimelyConfig};
 use timely_dse::{
-    Constraints, Evaluator, Explorer, FrontierVerdict, PointReport, SearchSpace, ServingCheck,
-    Strategy,
+    Constraints, Evaluator, Explorer, FrontierVerdict, PointReport, ReferenceVerdict, SearchSpace,
+    ServingCheck, Strategy,
 };
 use timely_nn::zoo;
 
@@ -92,6 +93,13 @@ fn main() {
     for (_, strategy) in &strategies {
         explorer.run(strategy);
     }
+    // Every baseline backend enters as a fixed cross-architecture reference
+    // point on the {energy, latency, area} axes.
+    for backend in baseline_registry() {
+        explorer
+            .seed_reference(backend.as_ref())
+            .unwrap_or_else(|err| panic!("{} reference failed: {err}", backend.name()));
+    }
     let space_len = explorer.space().len();
     let report = explorer.report();
 
@@ -169,6 +177,28 @@ fn main() {
         }
         None => panic!("paper default was seeded but never evaluated"),
     }
+
+    // --- Cross-architecture reference points ---------------------------------
+    let mut references = Table::new(
+        "DSE study - baseline reference points vs the frontier on {energy, latency, area}",
+        &["backend", "mJ/inf", "lat ms", "area mm2", "verdict"],
+    );
+    for reference in &report.references {
+        let point = &reference.point;
+        references.row(&[
+            point.backend.to_string(),
+            format!("{:.3}", point.energy_mj_per_inference),
+            format!("{:.3}", point.latency_ms),
+            format!("{:.1}", point.area_mm2),
+            match reference.verdict {
+                ReferenceVerdict::DominatedBy(hash) => {
+                    format!("dominated by {}", short_hash(hash))
+                }
+                ReferenceVerdict::NonDominated => "non-dominated".to_string(),
+            },
+        ]);
+    }
+    references.print();
 }
 
 fn workload_names() -> String {

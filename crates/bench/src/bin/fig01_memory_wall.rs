@@ -2,7 +2,7 @@
 //! accelerator (Eyeriss-like) — data movement of inputs, weights, and Psums
 //! dominates.
 
-use timely_baselines::{Accelerator, EyerissModel};
+use timely_baselines::{Backend, EyerissModel};
 use timely_bench::table::{format_percent, Table};
 use timely_nn::zoo;
 

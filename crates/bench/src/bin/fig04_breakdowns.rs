@@ -2,7 +2,7 @@
 //! 47 %, ADC 17 %, DAC ≈0 %) and ISAAC (analog 61 %, comm 19 %, memory 12 %,
 //! digital 8 %) that motivate the three opportunities.
 
-use timely_baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely_baselines::{Backend, IsaacModel, PrimeModel};
 use timely_bench::table::{format_percent, Table};
 use timely_nn::zoo;
 

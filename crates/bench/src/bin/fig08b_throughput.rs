@@ -1,13 +1,13 @@
-//! Fig. 8(b): TIMELY's normalized throughput over PRIME and ISAAC for 16-,
-//! 32-, and 64-chip configurations (paper: 736.6× over PRIME on VGG-D;
-//! geometric means of 2.1×/2.4×/2.7× over ISAAC).
+//! Fig. 8(b): TIMELY's normalized throughput over the chip-scalable
+//! baselines (PRIME and ISAAC) for 16-, 32-, and 64-chip configurations
+//! (paper: 736.6× over PRIME on VGG-D; geometric means of 2.1×/2.4×/2.7×
+//! over ISAAC). The backends come from `registry_with_chips`, so adding a
+//! scalable backend extends this figure without touching it.
 
-use timely_baselines::isaac::IsaacConfig;
-use timely_baselines::prime::PrimeConfig;
-use timely_baselines::{Accelerator, IsaacModel, PrimeModel};
+use timely_baselines::{registry_with_chips, Backend, BackendId};
 use timely_bench::table::{geometric_mean, Table};
-use timely_core::{TimelyAccelerator, TimelyConfig};
-use timely_nn::zoo;
+use timely_core::{EvalError, EvalOutcome, TimelyAccelerator, TimelyConfig};
+use timely_nn::{zoo, Model};
 
 fn timely_with_chips(chips: usize, sixteen_bit: bool) -> TimelyAccelerator {
     let base = if sixteen_bit {
@@ -22,64 +22,72 @@ fn timely_with_chips(chips: usize, sixteen_bit: bool) -> TimelyAccelerator {
     TimelyAccelerator::new(builder.build().expect("valid config"))
 }
 
+/// Evaluates, treating "does not fit on this chip count" as a skip.
+fn try_eval(backend: &dyn Backend, model: &Model) -> Option<EvalOutcome> {
+    match backend.evaluate(model) {
+        Ok(outcome) => Some(outcome),
+        Err(EvalError::Unsupported { .. }) => None,
+        Err(err) => panic!("{} on {}: {err}", backend.name(), model.name()),
+    }
+}
+
 fn main() {
     let chip_counts = [16usize, 32, 64];
 
-    // --- vs PRIME on VGG-D ---------------------------------------------------
-    let mut table = Table::new(
-        "Fig. 8(b) - normalized throughput of TIMELY over PRIME on VGG-D (paper: 736.6x; crossbars per chip 20352 vs 1024)",
-        &["chips", "TIMELY (inf/s)", "PRIME (inf/s)", "improvement"],
-    );
     for &chips in &chip_counts {
-        let timely = timely_with_chips(chips, false);
-        let prime = PrimeModel::new(PrimeConfig::paper_default().with_chips(chips));
-        let model = zoo::vgg_d();
-        let t = Accelerator::evaluate(&timely, &model).expect("TIMELY evaluates VGG-D");
-        let p = prime.evaluate(&model).expect("PRIME evaluates VGG-D");
-        table.row(&[
-            chips.to_string(),
-            format!("{:.0}", t.inferences_per_second),
-            format!("{:.1}", p.inferences_per_second),
-            format!("{:.0}x", t.inferences_per_second / p.inferences_per_second),
-        ]);
-    }
-    table.print();
-
-    // --- vs ISAAC on its benchmark suite -------------------------------------
-    for &chips in &chip_counts {
-        let timely = timely_with_chips(chips, true);
-        let isaac = IsaacModel::new(IsaacConfig::paper_default().with_chips(chips));
-        let mut table = Table::new(
-            format!(
-                "Fig. 8(b) - normalized throughput of TIMELY over ISAAC, {chips}-chip configuration (paper geometric means 2.1x/2.4x/2.7x)"
-            ),
-            &["model", "TIMELY (inf/s)", "ISAAC (inf/s)", "improvement"],
-        );
-        let mut ratios = Vec::new();
-        for model in zoo::isaac_benchmarks() {
-            let t = match Accelerator::evaluate(&timely, &model) {
-                Ok(report) => report,
-                Err(_) => continue, // model does not fit on this chip count
+        for baseline in registry_with_chips(chips) {
+            // TIMELY itself is the normalization subject, not a row.
+            if baseline.id() == BackendId::Timely {
+                continue;
+            }
+            let sixteen_bit = baseline.peak().op_bits != 8;
+            let timely = timely_with_chips(chips, sixteen_bit);
+            // The paper evaluates PRIME on VGG-D only (its published suite's
+            // flagship) and ISAAC on its full benchmark suite.
+            let suite = match baseline.id() {
+                BackendId::Prime => vec![zoo::vgg_d()],
+                _ => zoo::isaac_benchmarks(),
             };
-            let i = match isaac.evaluate(&model) {
-                Ok(report) => report,
-                Err(_) => continue,
+            let note = match baseline.id() {
+                BackendId::Prime => " (paper: 736.6x; crossbars per chip 20352 vs 1024)",
+                BackendId::Isaac => " (paper geometric means 2.1x/2.4x/2.7x)",
+                _ => "",
             };
-            let ratio = t.inferences_per_second / i.inferences_per_second;
-            ratios.push(ratio);
+            let mut table = Table::new(
+                format!(
+                    "Fig. 8(b) - normalized throughput of TIMELY over {}, {chips}-chip configuration{note}",
+                    baseline.name(),
+                ),
+                &[
+                    "model",
+                    "TIMELY (inf/s)",
+                    &format!("{} (inf/s)", baseline.name()),
+                    "improvement",
+                ],
+            );
+            let mut ratios = Vec::new();
+            for model in &suite {
+                let (Some(t), Some(b)) =
+                    (try_eval(&timely, model), try_eval(baseline.as_ref(), model))
+                else {
+                    continue; // model does not fit on this chip count
+                };
+                let ratio = t.inferences_per_second() / b.inferences_per_second();
+                ratios.push(ratio);
+                table.row(&[
+                    model.name().to_string(),
+                    format!("{:.0}", t.inferences_per_second()),
+                    format!("{:.1}", b.inferences_per_second()),
+                    format!("{ratio:.1}x"),
+                ]);
+            }
             table.row(&[
-                model.name().to_string(),
-                format!("{:.0}", t.inferences_per_second),
-                format!("{:.0}", i.inferences_per_second),
-                format!("{ratio:.1}x"),
+                "Geometric mean".to_string(),
+                String::new(),
+                String::new(),
+                format!("{:.1}x", geometric_mean(&ratios)),
             ]);
+            table.print();
         }
-        table.row(&[
-            "Geometric mean".to_string(),
-            String::new(),
-            String::new(),
-            format!("{:.1}x", geometric_mean(&ratios)),
-        ]);
-        table.print();
     }
 }

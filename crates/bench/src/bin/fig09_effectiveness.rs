@@ -3,7 +3,7 @@
 //! (b) the interface-energy comparison, (c) the memory-level breakdown, and
 //! (d)/(e) the per-data-type breakdown.
 
-use timely_baselines::{Accelerator, PrimeModel};
+use timely_baselines::{baseline_registry, BackendId};
 use timely_bench::table::{format_percent, Table};
 use timely_core::{DataType, EnergyBreakdown, Features, MemoryLevel, ModelMapping, TimelyConfig};
 use timely_nn::zoo;
@@ -18,7 +18,10 @@ fn energy_with_features(features: Features) -> EnergyBreakdown {
 fn main() {
     let model = zoo::vgg_d();
     let timely = energy_with_features(Features::all());
-    let prime = PrimeModel::default()
+    let prime = baseline_registry()
+        .into_iter()
+        .find(|b| b.id() == BackendId::Prime)
+        .expect("PRIME is registered")
         .evaluate(&model)
         .expect("PRIME evaluates VGG-D");
 

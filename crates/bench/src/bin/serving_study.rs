@@ -6,8 +6,9 @@
 //! `--smoke` for a fast CI-sized run. Everything is seeded, so repeated runs
 //! print identical numbers.
 
+use timely_baselines::IsaacModel;
 use timely_bench::table::{format_percent, Table};
-use timely_core::TimelyConfig;
+use timely_core::{Backend, TimelyAccelerator, TimelyConfig};
 use timely_nn::zoo;
 use timely_sim::{
     ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, TrafficSpec,
@@ -93,6 +94,96 @@ fn main() {
 
     // --- Low-load cross-check against the analytical model -------------------
     analytical_crosscheck(&models, &chip_config, requests_per_point);
+
+    // --- Cross-backend fleets through the unified Backend trait --------------
+    cross_backend_study(requests_per_point);
+}
+
+/// Serves CNN-1 on three fleets of the same size but different silicon:
+/// all-TIMELY, all-ISAAC, and a heterogeneous TIMELY + ISAAC pool, all
+/// driven at the same absolute request rate (70 % of the slowest fleet's
+/// capacity) under join-the-shortest-queue.
+fn cross_backend_study(requests: f64) {
+    let model = zoo::cnn_1();
+    let timely_chip = TimelyAccelerator::new(TimelyConfig {
+        chips: 1,
+        ..TimelyConfig::paper_default()
+    });
+    let isaac_chip = IsaacModel::default();
+    let sim_config = SimConfig {
+        seed: SEED,
+        duration_s: 1.0, // placeholder; set per run below
+        chips: 2,
+        policy: Policy::ShortestQueue,
+        sharding: Sharding::Replicate,
+    };
+    let fleets: Vec<(&str, ServingSimulator)> = vec![
+        (
+            "TIMELY x2",
+            ServingSimulator::for_backend(std::slice::from_ref(&model), &timely_chip, sim_config)
+                .expect("CNN-1 fits a TIMELY chip"),
+        ),
+        (
+            "ISAAC x2",
+            ServingSimulator::for_backend(std::slice::from_ref(&model), &isaac_chip, sim_config)
+                .expect("CNN-1 fits an ISAAC chip"),
+        ),
+        (
+            "TIMELY+ISAAC",
+            ServingSimulator::heterogeneous(
+                std::slice::from_ref(&model),
+                &[&timely_chip as &dyn Backend, &isaac_chip as &dyn Backend],
+                sim_config,
+            )
+            .expect("CNN-1 fits both chips"),
+        ),
+    ];
+    let rate = 0.7
+        * fleets
+            .iter()
+            .map(|(_, sim)| sim.fleet_capacity_rps(0))
+            .fold(f64::INFINITY, f64::min);
+    let max_latency = fleets
+        .iter()
+        .flat_map(|(_, sim)| (0..2).map(|chip| sim.profile(chip, 0).latency_s))
+        .fold(0.0, f64::max);
+    let duration_s = (requests / rate).max(50.0 * max_latency);
+
+    let mut table = Table::new(
+        format!(
+            "Serving study - cross-backend fleets on CNN-1 (2 chips each, shortest-queue, {rate:.0} req/s)"
+        ),
+        &[
+            "fleet",
+            "capacity rps",
+            "offered",
+            "done",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "util",
+            "mJ/req",
+        ],
+    );
+    for (label, mut sim) in fleets {
+        sim.set_duration(duration_s);
+        let report = sim.run(&TrafficSpec {
+            process: ArrivalProcess::Poisson { rate },
+            mix: ModelMix::single(0),
+        });
+        table.row(&[
+            label.to_string(),
+            format!("{:.0}", sim.fleet_capacity_rps(0)),
+            report.offered.to_string(),
+            report.completed.to_string(),
+            format!("{:.3}", report.latency.p50_ms),
+            format!("{:.3}", report.latency.p95_ms),
+            format!("{:.3}", report.latency.p99_ms),
+            format_percent(report.mean_utilization()),
+            format!("{:.4}", report.energy_mj_per_request),
+        ]);
+    }
+    table.print();
 }
 
 /// The policy set for the sweep. The batching window is sized relative to

@@ -94,6 +94,15 @@ fn golden_serving_study_smoke() {
 }
 
 #[test]
+fn golden_backend_matrix() {
+    check_golden(
+        "backend_matrix.txt",
+        env!("CARGO_BIN_EXE_backend_matrix"),
+        &[],
+    );
+}
+
+#[test]
 fn golden_fig05_unit_energy() {
     check_golden(
         "fig05_unit_energy.txt",

@@ -198,17 +198,10 @@ impl TimelyConfig {
     /// compare equal if and only if they describe the same design point (up
     /// to the fidelity of the serialized representation).
     pub fn stable_hash(&self) -> u64 {
-        // FNV-1a over the canonical serde encoding. `std`'s hashers are
-        // randomly keyed per process, which would break golden-file tests.
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let encoded = serde::json::to_string(self);
-        let mut hash = FNV_OFFSET;
-        for byte in encoded.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
-        hash
+        // FNV-1a over the canonical serde encoding (std's hashers are
+        // randomly keyed per process, which would break golden-file tests) —
+        // the one scheme shared by every backend configuration.
+        crate::backend::stable_hash_of(self)
     }
 }
 

@@ -5,8 +5,10 @@ use std::fmt;
 /// Error produced when evaluating a model on the TIMELY architecture.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArchError {
-    /// The model cannot be analyzed (propagated from `timely-nn`).
-    Workload(String),
+    /// The model cannot be analyzed (propagated from `timely-nn`, kept
+    /// structured rather than stringified so downstream layers can match on
+    /// the cause).
+    Workload(timely_nn::NnError),
     /// The model's weights do not fit on the configured chip(s), even without
     /// duplication.
     ModelTooLarge {
@@ -26,7 +28,7 @@ pub enum ArchError {
 impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ArchError::Workload(msg) => write!(f, "workload analysis failed: {msg}"),
+            ArchError::Workload(err) => write!(f, "workload analysis failed: {err}"),
             ArchError::ModelTooLarge {
                 required_crossbars,
                 available_crossbars,
@@ -49,7 +51,7 @@ pub type TimelyError = ArchError;
 
 impl From<timely_nn::NnError> for ArchError {
     fn from(err: timely_nn::NnError) -> Self {
-        ArchError::Workload(err.to_string())
+        ArchError::Workload(err)
     }
 }
 

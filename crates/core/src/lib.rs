@@ -24,6 +24,7 @@
 
 pub mod accuracy;
 pub mod area;
+pub mod backend;
 pub mod config;
 pub mod energy;
 pub mod error;
@@ -33,6 +34,9 @@ pub mod report;
 pub mod subchip;
 
 pub use area::AreaBreakdown;
+pub use backend::{
+    Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, PeakSpec, ServicePhysics,
+};
 pub use config::{Features, MappingStrategy, TimelyConfig, TimelyConfigBuilder};
 pub use energy::{DataType, EnergyBreakdown, MemoryLevel};
 pub use error::{ArchError, TimelyError};

@@ -13,18 +13,28 @@
 //! 3. **Serving check** (optional): a seeded `timely-sim` run measures the
 //!    p99 latency of the workload mix at a given fraction of fleet capacity.
 //!
-//! Every outcome is memoized in a cache keyed on
-//! [`TimelyConfig::stable_hash`], so search strategies that revisit points
-//! (hill-climb paths, overlapping grids) pay for each design point once, and
-//! a cache hit returns a bit-identical report.
+//! Every outcome is memoized in a cache keyed on the *backend-qualified*
+//! configuration hash ([`Backend::cache_key`]: the backend id tag folded
+//! with [`TimelyConfig::stable_hash`]), so search strategies that revisit
+//! points (hill-climb paths, overlapping grids) pay for each design point
+//! once, a cache hit returns a bit-identical report, and outcomes from
+//! different backends can never collide even when their configurations hash
+//! identically.
+//!
+//! Baseline backends enter the same pipeline as *fixed reference points*
+//! ([`Evaluator::evaluate_reference`]): evaluated once through the unified
+//! [`Backend`] trait, skipping the TIMELY-specific pre-screen, and compared
+//! against the searched frontier on the architecture-neutral
+//! {energy, latency, area} axes.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use timely_core::accuracy::AccuracyStudy;
-use timely_core::{AreaBreakdown, TimelyAccelerator, TimelyConfig};
+use timely_core::backend::fold_cache_key;
+use timely_core::{AreaBreakdown, Backend, BackendId, EvalError, TimelyAccelerator, TimelyConfig};
 use timely_nn::Model;
-use timely_sim::serving_check;
+use timely_sim::serving_check_backend;
 
 /// The objective vector of one design point. Lower is better on every axis.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,11 +85,38 @@ impl Objectives {
 pub struct PointReport {
     /// The evaluated configuration.
     pub config: TimelyConfig,
-    /// [`TimelyConfig::stable_hash`] of the configuration — the memo-cache
-    /// key and the point's identifier in reports.
+    /// [`TimelyConfig::stable_hash`] of the configuration — the point's
+    /// identifier in reports. (The memo-cache key additionally folds in the
+    /// backend id; see [`Backend::cache_key`].)
     pub config_hash: u64,
     /// The point's objective values.
     pub objectives: Objectives,
+}
+
+/// A fixed cross-architecture reference point: one baseline backend
+/// evaluated on the same workload set as the searched TIMELY points, on the
+/// architecture-neutral {energy, latency, area} axes (the TIMELY-specific
+/// noise proxy and serving check do not apply).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferencePoint {
+    /// The backend this point represents.
+    pub backend: BackendId,
+    /// The backend's [`Backend::cache_key`] (its memo-cache identity).
+    pub cache_key: u64,
+    /// Mean energy of one inference across the workload set, in millijoules.
+    pub energy_mj_per_inference: f64,
+    /// Mean single-inference latency across the workload set, in ms.
+    pub latency_ms: f64,
+    /// Total silicon area of the backend instance, in mm².
+    pub area_mm2: f64,
+}
+
+impl ReferencePoint {
+    /// The {energy, latency, area} vector (lower is better), comparable with
+    /// the first three entries of [`Objectives::vector`].
+    pub fn vector(&self) -> Vec<f64> {
+        vec![self.energy_mj_per_inference, self.latency_ms, self.area_mm2]
+    }
 }
 
 /// The result of evaluating one design point.
@@ -167,7 +204,12 @@ pub struct Evaluator {
     workloads: Vec<Model>,
     constraints: Constraints,
     serving: Option<ServingCheck>,
+    /// Memoized point outcomes, keyed on [`Backend::cache_key`] (backend id
+    /// tag folded with the configuration hash — never the bare config hash,
+    /// which would collide across backends).
     cache: BTreeMap<u64, PointOutcome>,
+    /// Memoized cross-architecture reference points, same key space.
+    reference_cache: BTreeMap<u64, ReferencePoint>,
     stats: EvalStats,
 }
 
@@ -184,6 +226,7 @@ impl Evaluator {
             constraints: Constraints::default(),
             serving: None,
             cache: BTreeMap::new(),
+            reference_cache: BTreeMap::new(),
             stats: EvalStats::default(),
         }
     }
@@ -222,14 +265,22 @@ impl Evaluator {
 
     /// Evaluates one configuration, answering from the memo-cache when the
     /// point was seen before. Cache hits return a clone of the stored
-    /// outcome, bit-identical to the original evaluation.
+    /// outcome, bit-identical to the original evaluation. The cache key is
+    /// the backend-qualified [`Backend::cache_key`], not the bare
+    /// configuration hash.
     pub fn evaluate(&mut self, config: &TimelyConfig) -> PointOutcome {
-        let key = config.stable_hash();
+        // One serde-encoding hash per call: the folded cache key and the
+        // report's config_hash both derive from it, and a cache hit pays no
+        // accelerator construction at all.
+        let config_hash = config.stable_hash();
+        let key = fold_cache_key(BackendId::Timely.stable_tag(), config_hash);
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             return hit.clone();
         }
-        let outcome = self.evaluate_fresh(config, key);
+        let accelerator = TimelyAccelerator::new(config.clone());
+        debug_assert_eq!(key, accelerator.cache_key());
+        let outcome = self.evaluate_fresh(&accelerator, config_hash);
         match &outcome {
             PointOutcome::Feasible(_) => self.stats.evaluations += 1,
             PointOutcome::Pruned { .. } => self.stats.pruned += 1,
@@ -239,7 +290,45 @@ impl Evaluator {
         outcome
     }
 
-    fn evaluate_fresh(&self, config: &TimelyConfig, key: u64) -> PointOutcome {
+    /// Evaluates a baseline backend into a fixed {energy, latency, area}
+    /// reference point on the same workload set, memoized on the backend's
+    /// [`Backend::cache_key`]. No TIMELY-specific pre-screen applies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (e.g. a workload the backend does not
+    /// support).
+    pub fn evaluate_reference(
+        &mut self,
+        backend: &dyn Backend,
+    ) -> Result<ReferencePoint, EvalError> {
+        let key = backend.cache_key();
+        if let Some(hit) = self.reference_cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        let mut energy_mj = 0.0;
+        let mut latency_ms = 0.0;
+        let mut area_mm2 = 0.0;
+        for model in &self.workloads {
+            let outcome = backend.evaluate(model)?;
+            energy_mj += outcome.energy_millijoules();
+            latency_ms += outcome.physics.single_inference_latency.as_seconds() * 1e3;
+            area_mm2 = outcome.area_mm2;
+        }
+        let point = ReferencePoint {
+            backend: backend.id(),
+            cache_key: key,
+            energy_mj_per_inference: energy_mj / self.workloads.len() as f64,
+            latency_ms: latency_ms / self.workloads.len() as f64,
+            area_mm2,
+        };
+        self.reference_cache.insert(key, point.clone());
+        Ok(point)
+    }
+
+    fn evaluate_fresh(&self, accelerator: &TimelyAccelerator, config_hash: u64) -> PointOutcome {
+        let config = accelerator.config();
         // Pre-screen 1: structural validity (divide-by-zero guards etc.).
         if let Err(err) = config.validate() {
             return PointOutcome::Pruned {
@@ -269,21 +358,20 @@ impl Evaluator {
             }
         }
 
-        // Workload evaluation through the analytical model.
-        let accelerator = TimelyAccelerator::new(config.clone());
+        // Workload evaluation through the unified backend trait.
         let mut energy_mj = 0.0;
         let mut latency_ms = 0.0;
         for model in &self.workloads {
-            let report = match accelerator.evaluate(model) {
-                Ok(report) => report,
+            let outcome = match Backend::evaluate(accelerator, model) {
+                Ok(outcome) => outcome,
                 Err(err) => {
                     return PointOutcome::Infeasible {
                         reason: format!("{}: {err}", model.name()),
                     }
                 }
             };
-            energy_mj += report.energy_millijoules();
-            latency_ms += report.throughput.single_inference_latency.as_seconds() * 1e3;
+            energy_mj += outcome.energy_millijoules();
+            latency_ms += outcome.physics.single_inference_latency.as_seconds() * 1e3;
         }
         energy_mj /= self.workloads.len() as f64;
         latency_ms /= self.workloads.len() as f64;
@@ -295,13 +383,17 @@ impl Evaluator {
             }
         }
 
-        // Optional serving check via the discrete-event simulator.
+        // Optional serving check via the discrete-event simulator: a fleet
+        // of `config.chips` single-chip instances of this backend.
         let p99_ms = match self.serving {
             None => 0.0,
             Some(check) => {
-                let report = match serving_check(
+                let mut per_chip = config.clone();
+                per_chip.chips = 1;
+                let report = match serving_check_backend(
                     &self.workloads,
-                    config,
+                    &TimelyAccelerator::new(per_chip),
+                    config.chips.max(1),
                     check.load,
                     check.requests,
                     check.seed,
@@ -324,7 +416,7 @@ impl Evaluator {
 
         PointOutcome::Feasible(PointReport {
             config: config.clone(),
-            config_hash: key,
+            config_hash,
             objectives: Objectives {
                 energy_mj_per_inference: energy_mj,
                 latency_ms,
@@ -408,6 +500,51 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(eval.stats().evaluations, 1);
         assert_eq!(eval.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_is_keyed_on_the_backend_qualified_hash() {
+        // A key equal to the bare config hash would collide with any other
+        // backend hashing its config identically; the evaluator must store
+        // under the folded Backend::cache_key instead.
+        let mut eval = evaluator();
+        let cfg = TimelyConfig::paper_default();
+        eval.evaluate(&cfg);
+        let folded = TimelyAccelerator::new(cfg.clone()).cache_key();
+        assert_ne!(folded, cfg.stable_hash());
+        assert!(eval.cache.contains_key(&folded));
+        assert!(!eval.cache.contains_key(&cfg.stable_hash()));
+        // The report still identifies the point by its config hash.
+        let report = eval.evaluate(&cfg).report().cloned().unwrap();
+        assert_eq!(report.config_hash, cfg.stable_hash());
+    }
+
+    #[test]
+    fn references_are_evaluated_through_the_trait_and_memoized() {
+        let mut eval = evaluator();
+        // Any Backend works as a reference; a 16-bit TIMELY instance stands
+        // in for a baseline here (the dse crate does not depend on
+        // timely-baselines).
+        let reference = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+        let point = eval.evaluate_reference(&reference).unwrap();
+        assert_eq!(point.backend, BackendId::Timely);
+        assert_eq!(point.cache_key, reference.cache_key());
+        assert!(point.energy_mj_per_inference > 0.0);
+        assert!(point.latency_ms > 0.0);
+        assert!(point.area_mm2 > 0.0);
+        assert_eq!(point.vector().len(), 3);
+        let hits_before = eval.stats().cache_hits;
+        let again = eval.evaluate_reference(&reference).unwrap();
+        assert_eq!(point, again);
+        assert_eq!(eval.stats().cache_hits, hits_before + 1);
+        // Reference keys live in the same folded key space as point keys but
+        // never alias them: the searched paper-default point and the 16-bit
+        // reference stay distinct.
+        eval.evaluate(&TimelyConfig::paper_default());
+        assert_ne!(
+            reference.cache_key(),
+            TimelyAccelerator::new(TimelyConfig::paper_default()).cache_key()
+        );
     }
 
     #[test]

@@ -59,8 +59,11 @@ pub mod search;
 pub mod space;
 
 pub use evaluate::{
-    Constraints, EvalStats, Evaluator, Objectives, PointOutcome, PointReport, ServingCheck,
+    Constraints, EvalStats, Evaluator, Objectives, PointOutcome, PointReport, ReferencePoint,
+    ServingCheck,
 };
 pub use pareto::{dominance_ranks, dominates, frontier_indices};
-pub use search::{DseReport, Explorer, FrontierVerdict, Strategy};
+pub use search::{
+    DseReport, Explorer, FrontierVerdict, ReferenceReport, ReferenceVerdict, Strategy,
+};
 pub use space::{Coords, SearchSpace, AXES};

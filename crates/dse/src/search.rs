@@ -18,9 +18,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use timely_core::TimelyConfig;
+use timely_core::{Backend, EvalError, TimelyConfig};
 
-use crate::evaluate::{EvalStats, Evaluator, PointOutcome, PointReport};
+use crate::evaluate::{EvalStats, Evaluator, PointOutcome, PointReport, ReferencePoint};
 use crate::pareto::{dominance_ranks, dominates, frontier_indices};
 use crate::space::{Coords, SearchSpace};
 
@@ -66,6 +66,29 @@ pub enum FrontierVerdict {
     DominatedBy(u64),
 }
 
+/// How a cross-architecture reference point relates to the searched
+/// frontier, compared on the architecture-neutral {energy, latency, area}
+/// axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReferenceVerdict {
+    /// A searched frontier point dominates the reference on all three axes;
+    /// the payload is that point's `stable_hash`.
+    DominatedBy(u64),
+    /// No searched frontier point dominates the reference (it trades off
+    /// against the frontier — e.g. a tiny-area baseline).
+    NonDominated,
+}
+
+/// A cross-architecture reference point and its verdict against the
+/// searched frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceReport {
+    /// The evaluated reference.
+    pub point: ReferencePoint,
+    /// Its relation to the frontier on {energy, latency, area}.
+    pub verdict: ReferenceVerdict,
+}
+
 /// The result of a design-space exploration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseReport {
@@ -78,6 +101,9 @@ pub struct DseReport {
     pub frontier: Vec<usize>,
     /// Non-dominated-sorting rank of each point (0 = frontier).
     pub ranks: Vec<usize>,
+    /// Cross-architecture reference points (seeded baselines) and their
+    /// verdicts against the frontier, in seed order.
+    pub references: Vec<ReferenceReport>,
     /// How the search spent its evaluation budget.
     pub stats: EvalStats,
 }
@@ -129,6 +155,9 @@ pub struct Explorer {
     evaluator: Evaluator,
     /// Feasible points in first-seen order, deduplicated by config hash.
     pool: Vec<PointReport>,
+    /// Cross-architecture reference points in seed order, deduplicated by
+    /// backend cache key.
+    references: Vec<ReferencePoint>,
 }
 
 impl Explorer {
@@ -143,6 +172,7 @@ impl Explorer {
             space,
             evaluator,
             pool: Vec::new(),
+            references: Vec::new(),
         }
     }
 
@@ -155,6 +185,26 @@ impl Explorer {
     /// design point, so the frontier always relates to it).
     pub fn seed_config(&mut self, config: &TimelyConfig) -> PointOutcome {
         self.consider(config).1
+    }
+
+    /// Evaluates a baseline backend into the report's reference set, so the
+    /// cross-architecture {energy, latency, area} frontier relates to it
+    /// (e.g. every entry of `timely_baselines::baseline_registry()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (a workload the backend does not
+    /// support); nothing is recorded in that case.
+    pub fn seed_reference(&mut self, backend: &dyn Backend) -> Result<ReferencePoint, EvalError> {
+        let point = self.evaluator.evaluate_reference(backend)?;
+        if !self
+            .references
+            .iter()
+            .any(|r| r.cache_key == point.cache_key)
+        {
+            self.references.push(point.clone());
+        }
+        Ok(point)
     }
 
     /// Runs one strategy to completion.
@@ -187,14 +237,36 @@ impl Explorer {
             .iter()
             .map(|p| p.objectives.vector(with_serving))
             .collect();
+        let frontier = frontier_indices(&vectors);
+        // Reference verdicts: a reference is dominated when some frontier
+        // point beats it on the architecture-neutral {energy, latency, area}
+        // sub-vector (the first three objectives).
+        let references = self
+            .references
+            .iter()
+            .map(|point| {
+                let vector = point.vector();
+                let dominator = frontier
+                    .iter()
+                    .find(|&&i| dominates(&vectors[i][..3], &vector));
+                ReferenceReport {
+                    point: point.clone(),
+                    verdict: match dominator {
+                        Some(&i) => ReferenceVerdict::DominatedBy(points[i].config_hash),
+                        None => ReferenceVerdict::NonDominated,
+                    },
+                }
+            })
+            .collect();
         DseReport {
             objective_labels: crate::evaluate::Objectives::labels(with_serving)
                 .into_iter()
                 .map(str::to_string)
                 .collect(),
-            frontier: frontier_indices(&vectors),
+            frontier,
             ranks: dominance_ranks(&vectors),
             points,
+            references,
             stats: self.evaluator.stats(),
         }
     }
@@ -415,6 +487,43 @@ mod tests {
             ..TimelyConfig::paper_default()
         };
         assert!(report.frontier_verdict(&outside).is_none());
+    }
+
+    #[test]
+    fn references_get_frontier_verdicts_on_the_neutral_axes() {
+        use timely_core::TimelyAccelerator;
+        let mut ex = explorer();
+        // A 16-bit instance costs more energy and latency at the same area
+        // as the searched 8-bit points: dominated on {energy, latency, area}.
+        let dominated = TimelyAccelerator::new(TimelyConfig::paper_16bit());
+        // A 13-sub-chip instance has far less silicon than anything in the
+        // searched space (53/106 sub-chips): non-dominated via the area axis.
+        let tiny = TimelyAccelerator::new(TimelyConfig {
+            subchips_per_chip: 13,
+            ..TimelyConfig::paper_default()
+        });
+        ex.seed_reference(&dominated).unwrap();
+        ex.seed_reference(&tiny).unwrap();
+        // Re-seeding the same backend does not duplicate the reference.
+        ex.seed_reference(&dominated).unwrap();
+        ex.run(&Strategy::Grid {
+            max_points: usize::MAX,
+        });
+        let report = ex.report();
+        assert_eq!(report.references.len(), 2);
+        assert!(matches!(
+            report.references[0].verdict,
+            ReferenceVerdict::DominatedBy(_)
+        ));
+        if let ReferenceVerdict::DominatedBy(hash) = report.references[0].verdict {
+            assert!(report.frontier_points().any(|p| p.config_hash == hash));
+        }
+        assert_eq!(report.references[1].verdict, ReferenceVerdict::NonDominated);
+        // References never enter the searched point pool.
+        assert!(report
+            .points
+            .iter()
+            .all(|p| p.config.subchips_per_chip != 13));
     }
 
     #[test]

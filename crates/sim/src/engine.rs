@@ -1,15 +1,21 @@
-//! The serving simulator: a fleet of TIMELY chips under generated traffic.
+//! The serving simulator: a fleet of accelerator chips under generated
+//! traffic.
 //!
-//! Each simulated chip serves inference requests through the §IV-E layer
-//! pipeline, abstracted by two numbers per model taken from `timely-core`'s
-//! analytical schedule: the *initiation interval* (the slowest stage's
-//! wall-clock time — how often the pipeline accepts a new inference) and the
-//! *single-inference latency* (the time one request spends flowing through
-//! all stages). A request issued at `t` therefore completes at
-//! `t + latency`, and the next request can issue no earlier than `t + II`.
-//! Energy per request comes from the per-inference [`EnergyBreakdown`].
+//! Each simulated chip serves inference requests through its backend's
+//! pipeline, abstracted by the [`ServicePhysics`] every
+//! [`Backend`](timely_core::Backend) reports: the *initiation interval* (how
+//! often the pipeline accepts a new inference) and the *single-inference
+//! latency* (the time one request spends flowing through all stages). A
+//! request issued at `t` therefore completes at `t + latency`, and the next
+//! request can issue no earlier than `t + II`. Energy per request comes from
+//! the backend's per-inference [`EnergyByCategory`] total.
 //!
-//! [`EnergyBreakdown`]: timely_core::EnergyBreakdown
+//! Fleets can be homogeneous ([`ServingSimulator::for_backend`]) or mix
+//! architectures chip by chip ([`ServingSimulator::heterogeneous`] — e.g. a
+//! TIMELY + ISAAC pool).
+//!
+//! [`ServicePhysics`]: timely_core::ServicePhysics
+//! [`EnergyByCategory`]: timely_core::EnergyByCategory
 
 use crate::event::EventQueue;
 use crate::scheduler::{FleetLayout, Policy, Router, Sharding};
@@ -20,16 +26,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use timely_core::{ArchError, EnergyBreakdown, ModelMapping, ThroughputReport, TimelyConfig};
+use timely_core::{Backend, EvalError, TimelyAccelerator, TimelyConfig};
 use timely_nn::Model;
 
-/// The serving-relevant profile of one model on one TIMELY chip, derived from
-/// the analytical pipeline schedule.
+/// The serving-relevant profile of one model on one chip, derived from the
+/// chip backend's [`ServicePhysics`](timely_core::ServicePhysics).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelProfile {
     /// Model name.
     pub name: String,
-    /// Steady-state initiation interval of the layer pipeline, in seconds.
+    /// Steady-state initiation interval of the chip's pipeline, in seconds.
     pub initiation_interval_s: f64,
     /// End-to-end latency of one unqueued inference, in seconds.
     pub latency_s: f64,
@@ -38,28 +44,35 @@ pub struct ModelProfile {
 }
 
 impl ModelProfile {
-    /// Profiles `model` on a single chip of the given configuration.
-    ///
-    /// The fleet simulator treats each simulated chip as one TIMELY chip, so
-    /// the configuration's `chips` field is forced to 1 here; fleet scale
-    /// comes from [`SimConfig::chips`].
+    /// Profiles `model` on one chip of any backend, via the unified
+    /// [`Backend::evaluate`] outcome. The backend instance passed here is
+    /// treated as *one* simulated chip; fleet scale comes from
+    /// [`SimConfig::chips`].
     ///
     /// # Errors
     ///
-    /// Propagates mapping/scheduling errors (invalid configuration, model too
-    /// large for one chip).
-    pub fn for_model(model: &Model, config: &TimelyConfig) -> Result<Self, ArchError> {
+    /// Propagates evaluation errors (invalid configuration, model
+    /// unsupported on one chip).
+    pub fn for_backend(model: &Model, backend: &dyn Backend) -> Result<Self, EvalError> {
+        let outcome = backend.evaluate(model)?;
+        Ok(Self {
+            name: outcome.model_name,
+            initiation_interval_s: outcome.physics.initiation_interval.as_seconds(),
+            latency_s: outcome.physics.single_inference_latency.as_seconds(),
+            energy_mj: outcome.energy.total().as_millijoules(),
+        })
+    }
+
+    /// Profiles `model` on a single chip of the given TIMELY configuration
+    /// (the configuration's `chips` field is forced to 1 here).
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelProfile::for_backend`].
+    pub fn for_model(model: &Model, config: &TimelyConfig) -> Result<Self, EvalError> {
         let mut per_chip = config.clone();
         per_chip.chips = 1;
-        let report = ThroughputReport::for_model(model, &per_chip)?;
-        let mapping = ModelMapping::analyze(model, &per_chip)?;
-        let energy = EnergyBreakdown::for_mapping(&mapping, &per_chip);
-        Ok(Self {
-            name: model.name().to_string(),
-            initiation_interval_s: report.initiation_interval().as_seconds(),
-            latency_s: report.single_inference_latency.as_seconds(),
-            energy_mj: energy.total().as_millijoules(),
-        })
+        Self::for_backend(model, &TimelyAccelerator::new(per_chip))
     }
 
     /// The chip's maximum sustainable request rate for this model, in
@@ -152,17 +165,21 @@ impl ChipState {
     }
 }
 
-/// A fleet of simulated TIMELY chips serving a model zoo.
+/// A fleet of simulated accelerator chips serving a model zoo. Chips may all
+/// run the same backend or mix architectures
+/// ([`ServingSimulator::heterogeneous`]).
 #[derive(Debug, Clone)]
 pub struct ServingSimulator {
-    profiles: Vec<ModelProfile>,
+    /// `chip_profiles[c][m]` is model `m`'s profile on chip `c`.
+    chip_profiles: Vec<Vec<ModelProfile>>,
     layout: FleetLayout,
     config: SimConfig,
 }
 
 impl ServingSimulator {
     /// Builds a simulator for `models` on a fleet of [`SimConfig::chips`]
-    /// chips of the given per-chip configuration.
+    /// chips of the given per-chip TIMELY configuration (convenience wrapper
+    /// around [`ServingSimulator::for_backend`]).
     ///
     /// # Errors
     ///
@@ -172,28 +189,97 @@ impl ServingSimulator {
         models: &[Model],
         chip_config: &TimelyConfig,
         config: SimConfig,
-    ) -> Result<Self, ArchError> {
-        assert!(!models.is_empty(), "simulator needs at least one model");
+    ) -> Result<Self, EvalError> {
+        let mut per_chip = chip_config.clone();
+        per_chip.chips = 1;
+        Self::for_backend(models, &TimelyAccelerator::new(per_chip), config)
+    }
+
+    /// Builds a homogeneous fleet: [`SimConfig::chips`] chips, each one
+    /// instance of `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors for any model the backend does not
+    /// support.
+    pub fn for_backend(
+        models: &[Model],
+        backend: &dyn Backend,
+        config: SimConfig,
+    ) -> Result<Self, EvalError> {
+        let profiles = models
+            .iter()
+            .map(|m| ModelProfile::for_backend(m, backend))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_chip_profiles(
+            vec![profiles; config.chips],
+            config,
+        ))
+    }
+
+    /// Builds a heterogeneous fleet: chip `c` is one instance of
+    /// `backends[c]` (e.g. a TIMELY + ISAAC mixed pool). The fleet size is
+    /// `backends.len()`; [`SimConfig::chips`] is overridden to match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors: every chip's backend must support every
+    /// model in the fleet's zoo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn heterogeneous(
+        models: &[Model],
+        backends: &[&dyn Backend],
+        config: SimConfig,
+    ) -> Result<Self, EvalError> {
+        assert!(!backends.is_empty(), "fleet needs at least one chip");
+        let chip_profiles = backends
+            .iter()
+            .map(|backend| {
+                models
+                    .iter()
+                    .map(|m| ModelProfile::for_backend(m, *backend))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_chip_profiles(chip_profiles, config))
+    }
+
+    fn from_chip_profiles(chip_profiles: Vec<Vec<ModelProfile>>, mut config: SimConfig) -> Self {
+        assert!(
+            !chip_profiles.is_empty() && !chip_profiles[0].is_empty(),
+            "simulator needs at least one chip and one model"
+        );
         assert!(
             config.duration_s > 0.0 && config.duration_s.is_finite(),
             "duration must be > 0"
         );
         config.policy.validate();
-        let profiles = models
-            .iter()
-            .map(|m| ModelProfile::for_model(m, chip_config))
-            .collect::<Result<Vec<_>, _>>()?;
-        let layout = FleetLayout::build(profiles.len(), config.chips, config.sharding);
-        Ok(Self {
-            profiles,
+        // The profile matrix is the single source of truth for the fleet
+        // size; keep the stored config consistent with it (Run sizes its
+        // per-chip state from config.chips).
+        config.chips = chip_profiles.len();
+        let layout =
+            FleetLayout::build(chip_profiles[0].len(), chip_profiles.len(), config.sharding);
+        Self {
+            chip_profiles,
             layout,
             config,
-        })
+        }
     }
 
-    /// The per-model serving profiles, in model order.
+    /// The per-model serving profiles of the fleet's first chip, in model
+    /// order (in a heterogeneous fleet other chips may differ — see
+    /// [`ServingSimulator::profile`]).
     pub fn profiles(&self) -> &[ModelProfile] {
-        &self.profiles
+        &self.chip_profiles[0]
+    }
+
+    /// Model `m`'s profile on chip `c`.
+    pub fn profile(&self, chip: usize, model: usize) -> &ModelProfile {
+        &self.chip_profiles[chip][model]
     }
 
     /// The model placement across the fleet.
@@ -201,10 +287,25 @@ impl ServingSimulator {
         &self.layout
     }
 
+    /// Replaces the simulated horizon (used when the horizon is sized from
+    /// the fleet's capacity, which is only known after construction).
+    pub fn set_duration(&mut self, duration_s: f64) {
+        assert!(
+            duration_s > 0.0 && duration_s.is_finite(),
+            "duration must be > 0"
+        );
+        self.config.duration_s = duration_s;
+    }
+
     /// Aggregate fleet capacity for model `m` in requests per second: the
-    /// per-chip rate times the number of hosting chips.
+    /// sum of the hosting chips' per-chip rates (which differ in a
+    /// heterogeneous fleet).
     pub fn fleet_capacity_rps(&self, model: usize) -> f64 {
-        self.profiles[model].capacity_rps() * self.layout.hosts(model).len() as f64
+        self.layout
+            .hosts(model)
+            .iter()
+            .map(|&chip| self.chip_profiles[chip][model].capacity_rps())
+            .sum()
     }
 
     /// Runs the simulation under the given traffic and returns the report.
@@ -219,10 +320,10 @@ impl ServingSimulator {
     pub fn run(&self, traffic: &TrafficSpec) -> SimReport {
         traffic.process.validate();
         assert!(
-            traffic.mix.max_model_index() < self.profiles.len(),
+            traffic.mix.max_model_index() < self.chip_profiles[0].len(),
             "traffic mix references model {} but the fleet only has {}",
             traffic.mix.max_model_index(),
-            self.profiles.len()
+            self.chip_profiles[0].len()
         );
         Run::new(self, traffic).execute()
     }
@@ -243,6 +344,8 @@ struct Run<'a> {
     offered: u64,
     offered_per_model: Vec<u64>,
     latencies_per_model: Vec<Vec<f64>>,
+    issued_per_model: Vec<u64>,
+    energy_per_model_mj: Vec<f64>,
     queue_area: f64,
     last_event_s: f64,
     max_queue_depth: u64,
@@ -250,7 +353,7 @@ struct Run<'a> {
 
 impl<'a> Run<'a> {
     fn new(sim: &'a ServingSimulator, traffic: &'a TrafficSpec) -> Self {
-        let models = sim.profiles.len();
+        let models = sim.chip_profiles[0].len();
         Self {
             sim,
             traffic,
@@ -264,6 +367,8 @@ impl<'a> Run<'a> {
             offered: 0,
             offered_per_model: vec![0; models],
             latencies_per_model: vec![Vec::new(); models],
+            issued_per_model: vec![0; models],
+            energy_per_model_mj: vec![0.0; models],
             queue_area: 0.0,
             last_event_s: 0.0,
             max_queue_depth: 0,
@@ -423,11 +528,13 @@ impl<'a> Run<'a> {
                 return;
             }
             let request = state.run_queue.pop_front().expect("queue is non-empty");
-            let profile = &self.sim.profiles[request.model];
+            let profile = &self.sim.chip_profiles[chip][request.model];
             state.next_free_s = self.now_s + profile.initiation_interval_s;
             state.busy_s += profile.initiation_interval_s;
             state.issued += 1;
             state.energy_mj += profile.energy_mj;
+            self.issued_per_model[request.model] += 1;
+            self.energy_per_model_mj[request.model] += profile.energy_mj;
             self.events.push(
                 self.now_s + profile.latency_s,
                 Event::Completion { chip, request },
@@ -470,20 +577,28 @@ impl<'a> Run<'a> {
     fn report(self) -> SimReport {
         let horizon = self.horizon_s;
         let mut all_latencies: Vec<f64> = Vec::new();
-        let per_model: Vec<ModelStats> = self
-            .sim
-            .profiles
+        let per_model: Vec<ModelStats> = self.sim.chip_profiles[0]
             .iter()
             .enumerate()
             .map(|(m, profile)| {
                 let samples = &self.latencies_per_model[m];
                 all_latencies.extend_from_slice(samples);
+                // In a heterogeneous fleet per-request energy depends on the
+                // serving chip, so divide the energy actually spent on this
+                // model by the requests actually issued (equal to the single
+                // profile value in a homogeneous fleet, and consistent with
+                // the fleet-level energy_mj_per_request).
+                let energy_mj_per_request = if self.issued_per_model[m] > 0 {
+                    self.energy_per_model_mj[m] / self.issued_per_model[m] as f64
+                } else {
+                    0.0
+                };
                 ModelStats {
                     name: profile.name.clone(),
                     offered: self.offered_per_model[m],
                     completed: samples.len() as u64,
                     latency: LatencyStats::from_samples_s(samples),
-                    energy_mj_per_request: profile.energy_mj,
+                    energy_mj_per_request,
                 }
             })
             .collect();
@@ -547,20 +662,54 @@ pub fn serving_check(
     load: f64,
     requests: f64,
     seed: u64,
-) -> Result<SimReport, ArchError> {
+) -> Result<SimReport, EvalError> {
+    let mut per_chip = chip_config.clone();
+    per_chip.chips = 1;
+    serving_check_backend(
+        models,
+        &TimelyAccelerator::new(per_chip),
+        chip_config.chips.max(1),
+        load,
+        requests,
+        seed,
+    )
+}
+
+/// The backend-generic [`serving_check`]: simulates a uniform mix of
+/// `models` on `chips` replicated instances of `backend` under open-loop
+/// Poisson traffic at `load` × the fleet's mix capacity.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (invalid configuration, a model the backend
+/// does not support).
+///
+/// # Panics
+///
+/// Panics if `models` is empty, `chips` is zero, or `load`/`requests` is not
+/// a positive finite number.
+pub fn serving_check_backend(
+    models: &[Model],
+    backend: &dyn Backend,
+    chips: usize,
+    load: f64,
+    requests: f64,
+    seed: u64,
+) -> Result<SimReport, EvalError> {
     assert!(load > 0.0 && load.is_finite(), "load must be > 0");
     assert!(
         requests >= 1.0 && requests.is_finite(),
         "requests must be >= 1"
     );
-    let sim = ServingSimulator::new(
+    assert!(chips > 0, "fleet needs at least one chip");
+    let sim = ServingSimulator::for_backend(
         models,
-        chip_config,
+        backend,
         SimConfig {
             seed,
             // Placeholder horizon; replaced below once capacity is known.
             duration_s: 1.0,
-            chips: chip_config.chips.max(1),
+            chips,
             policy: Policy::ShortestQueue,
             sharding: Sharding::Replicate,
         },
@@ -614,7 +763,7 @@ mod tests {
         let profile = &sim.profiles()[0];
         let mut cfg = TimelyConfig::paper_default();
         cfg.chips = 1;
-        let report = ThroughputReport::for_model(&zoo::cnn_1(), &cfg).unwrap();
+        let report = timely_core::ThroughputReport::for_model(&zoo::cnn_1(), &cfg).unwrap();
         assert!(
             (profile.capacity_rps() - report.inferences_per_second).abs()
                 / report.inferences_per_second
@@ -809,6 +958,57 @@ mod tests {
         // At 30% of the slowest model's capacity nothing piles up.
         assert!(a.backlog < a.offered / 10);
         assert!(a.latency.p99_ms > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_mixes_backend_physics() {
+        // Chip 0 is a full paper-default TIMELY chip, chip 1 a half-size
+        // variant: a heterogeneous pool whose chips have different service
+        // rates for the same model.
+        let fast = TimelyAccelerator::new(TimelyConfig {
+            chips: 1,
+            ..TimelyConfig::paper_default()
+        });
+        let slow = TimelyAccelerator::new(TimelyConfig {
+            chips: 1,
+            subchips_per_chip: 53,
+            ..TimelyConfig::paper_default()
+        });
+        let model = zoo::vgg_d();
+        let sim = ServingSimulator::heterogeneous(
+            std::slice::from_ref(&model),
+            &[&fast, &slow],
+            SimConfig {
+                seed: 3,
+                duration_s: 1.0,
+                chips: 99, // overridden by the backend list
+                policy: Policy::ShortestQueue,
+                sharding: Sharding::Replicate,
+            },
+        )
+        .unwrap();
+        assert_eq!(sim.layout().chips(), 2);
+        let cap_fast = sim.profile(0, 0).capacity_rps();
+        let cap_slow = sim.profile(1, 0).capacity_rps();
+        assert!(cap_fast > cap_slow, "{cap_fast} vs {cap_slow}");
+        assert!(
+            (sim.fleet_capacity_rps(0) - (cap_fast + cap_slow)).abs() / cap_fast < 1e-12,
+            "fleet capacity sums per-chip rates"
+        );
+        // The mixed fleet still runs deterministically and serves traffic.
+        let traffic = TrafficSpec::poisson(0.6 * sim.fleet_capacity_rps(0), 0);
+        let a = sim.run(&traffic);
+        let b = sim.run(&traffic);
+        assert_eq!(a, b);
+        assert!(a.completed > 0);
+        assert!(a.chips[0].issued > 0 && a.chips[1].issued > 0);
+        // Per-model energy is issue-weighted, so for a single-model fleet it
+        // must agree with the fleet-level energy accounting even though the
+        // two chips have different per-request energies.
+        let issued: u64 = a.chips.iter().map(|c| c.issued).sum();
+        assert!(
+            (a.per_model[0].energy_mj_per_request - a.total_energy_mj / issued as f64).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! * [`stats`] — latency percentiles (p50/p95/p99), utilization, queue
 //!   depths, and energy per request, all serde-serializable.
 //!
-//! The physics comes from `timely-core`: each model's initiation interval,
-//! single-inference latency, and energy per inference are taken from the
-//! analytical [`ThroughputReport`](timely_core::ThroughputReport) /
-//! [`EnergyBreakdown`](timely_core::EnergyBreakdown), so at low load the
-//! simulator reproduces the closed-form numbers and under load it adds the
-//! queueing behavior the formulas cannot express.
+//! The physics comes from the unified [`Backend`](timely_core::Backend)
+//! trait: each model's initiation interval, single-inference latency, and
+//! energy per inference are taken from the backend's
+//! [`EvalOutcome`](timely_core::EvalOutcome), so at low load the simulator
+//! reproduces the closed-form numbers and under load it adds the queueing
+//! behavior the formulas cannot express. Any backend works — TIMELY, the
+//! baselines, or a chip-by-chip mixture of architectures
+//! ([`ServingSimulator::heterogeneous`]).
 //!
 //! # Example
 //!
@@ -51,7 +53,7 @@
 //!     mix: ModelMix::single(0),
 //! });
 //! assert!(report.latency.p50_ms <= report.latency.p99_ms);
-//! # Ok::<(), timely_core::ArchError>(())
+//! # Ok::<(), timely_core::EvalError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -63,7 +65,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod traffic;
 
-pub use engine::{serving_check, ModelProfile, ServingSimulator, SimConfig};
+pub use engine::{serving_check, serving_check_backend, ModelProfile, ServingSimulator, SimConfig};
 pub use event::EventQueue;
 pub use scheduler::{FleetLayout, Policy, Sharding};
 pub use stats::{ChipStats, LatencyStats, ModelStats, SimReport};

@@ -1,34 +1,43 @@
-//! Compare TIMELY against PRIME and ISAAC across the benchmark zoo — the
-//! per-model version of Fig. 8(a).
+//! Compare every registered backend across the benchmark zoo through the
+//! unified `Backend` trait — the per-model version of Fig. 8(a).
 //!
 //! Run with `cargo run --release --example compare_accelerators`.
 
-use timely::baselines::{Accelerator, IsaacModel, PrimeModel};
 use timely::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let timely8 = TimelyAccelerator::new(TimelyConfig::paper_default());
     let timely16 = TimelyAccelerator::new(TimelyConfig::paper_16bit());
-    let prime = PrimeModel::default();
-    let isaac = IsaacModel::default();
 
-    println!(
-        "{:<12} {:>14} {:>14} {:>12} {:>12}",
-        "model", "TIMELY (mJ)", "PRIME (mJ)", "vs PRIME", "vs ISAAC"
-    );
+    let mut header = format!("{:<12} {:>14}", "model", "TIMELY (mJ)");
+    for backend in baseline_registry() {
+        header.push_str(&format!(" {:>12}", format!("vs {}", backend.name())));
+    }
+    println!("{header}");
     for model in timely::nn::zoo::all_models() {
-        let t8 = Accelerator::evaluate(&timely8, &model)?;
-        let t16 = Accelerator::evaluate(&timely16, &model)?;
-        let p = prime.evaluate(&model)?;
-        let i = isaac.evaluate(&model)?;
-        println!(
-            "{:<12} {:>14.3} {:>14.3} {:>11.1}x {:>11.1}x",
-            model.name(),
-            t8.energy_millijoules(),
-            p.energy_millijoules(),
-            p.energy_millijoules() / t8.energy_millijoules(),
-            i.energy_millijoules() / t16.energy_millijoules(),
-        );
+        let t8 = Backend::evaluate(&timely8, &model)?;
+        let t16 = Backend::evaluate(&timely16, &model)?;
+        let mut row = format!("{:<12} {:>14.3}", model.name(), t8.energy_millijoules());
+        for backend in baseline_registry() {
+            // Normalize each baseline against the TIMELY instance at the
+            // baseline's own precision (8-bit vs PRIME, 16-bit otherwise).
+            let timely_mj = if backend.peak().op_bits == 8 {
+                t8.energy_millijoules()
+            } else {
+                t16.energy_millijoules()
+            };
+            match backend.evaluate(&model) {
+                Ok(outcome) => {
+                    row.push_str(&format!(
+                        " {:>11.1}x",
+                        outcome.energy_millijoules() / timely_mj
+                    ));
+                }
+                Err(EvalError::Unsupported { .. }) => row.push_str(&format!(" {:>12}", "n/a")),
+                Err(err) => return Err(err.into()),
+            }
+        }
+        println!("{row}");
     }
     Ok(())
 }

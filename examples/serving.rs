@@ -6,7 +6,7 @@
 
 use timely::prelude::*;
 
-fn main() -> Result<(), timely::arch::ArchError> {
+fn main() -> Result<(), timely::arch::EvalError> {
     let model = timely::nn::zoo::vgg_d();
     let chip_config = TimelyConfig::paper_default();
 

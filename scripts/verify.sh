@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the whole workspace must build in release mode and the
-# full test suite (unit + integration + doc tests, including the golden-file
-# snapshots under tests/golden/) must pass. Everything is offline: all
-# external dependencies are path stubs under vendor/.
+# Tier-1 verification: the whole workspace (every crate, bin, bench, and
+# test target) must build in release mode and the full test suite (unit +
+# integration + doc tests, including the backend trait-conformance suite and
+# the golden-file snapshots under tests/golden/) must pass. Everything is
+# offline: all external dependencies are path stubs under vendor/.
 #
 # Time knobs for slow machines: PROPTEST_CASES caps property-test cases and
 # GOLDEN_RUNS=0 skips the golden-file binary runs.
@@ -10,10 +11,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo build --release
+cargo build --release --workspace --all-targets
 cargo test -q
 cargo test -q -p timely-sim
 cargo test -q -p timely-dse
+cargo test -q -p timely-baselines   # backend trait-conformance suite
 cargo run --release -p timely-bench --bin serving_study -- --smoke > /dev/null
 cargo run --release -p timely-bench --bin dse_study -- --smoke > /dev/null
+cargo run --release -p timely-bench --bin backend_matrix > /dev/null
 echo "tier-1 verify: OK"

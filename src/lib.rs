@@ -9,7 +9,9 @@
 //! * [`arch`] — the TIMELY architecture simulator (sub-chips, O2IR mapping,
 //!   pipelines, energy/area/latency accounting),
 //! * [`baselines`] — PRIME, ISAAC, PipeLayer, AtomLayer and Eyeriss-like
-//!   reference models,
+//!   reference models, all behind the workspace-wide
+//!   [`Backend`](timely_core::Backend) trait with a
+//!   [`registry()`](timely_baselines::registry) of every backend,
 //! * [`sim`] — a deterministic discrete-event serving simulator (traffic
 //!   generation, batching, multi-chip sharding, latency percentiles) layered
 //!   on the architecture model,
@@ -19,14 +21,25 @@
 //!
 //! # Quickstart
 //!
+//! Every accelerator — TIMELY and all five baselines — implements the
+//! unified [`Backend`](timely_core::Backend) trait, and
+//! [`registry()`](timely_baselines::registry) returns them all:
+//!
 //! ```
 //! use timely::prelude::*;
 //!
 //! let model = timely::nn::zoo::vgg_d();
+//! // Native TIMELY report, with every architecture detail:
 //! let accelerator = TimelyAccelerator::new(TimelyConfig::paper_default());
-//! let report = accelerator.evaluate(&model)?;
+//! let report = TimelyAccelerator::evaluate(&accelerator, &model)?;
 //! assert!(report.energy.total().as_millijoules() > 0.0);
-//! # Ok::<(), timely::arch::ArchError>(())
+//! // The same chip and every baseline through the Backend trait:
+//! for backend in registry() {
+//!     let outcome = backend.evaluate(&model)?;
+//!     assert!(outcome.energy_millijoules() > 0.0);
+//!     assert!(outcome.inferences_per_second() > 0.0);
+//! }
+//! # Ok::<(), timely::arch::EvalError>(())
 //! ```
 //!
 //! # Offline builds
@@ -47,11 +60,16 @@ pub use timely_sim as sim;
 /// Commonly used items, importable with `use timely::prelude::*`.
 pub mod prelude {
     pub use timely_baselines::{
-        Accelerator, AtomLayerModel, EyerissModel, IsaacModel, PipeLayerModel, PrimeModel,
+        baseline_registry, registry, AtomLayerModel, EyerissModel, IsaacModel, PipeLayerModel,
+        PrimeModel,
     };
-    pub use timely_core::{EvalReport, TimelyAccelerator, TimelyConfig};
+    pub use timely_core::{
+        Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, EvalReport, PeakSpec,
+        ServicePhysics, TimelyAccelerator, TimelyConfig,
+    };
     pub use timely_dse::{
-        Constraints, DseReport, Evaluator, Explorer, SearchSpace, ServingCheck, Strategy,
+        Constraints, DseReport, Evaluator, Explorer, ReferenceVerdict, SearchSpace, ServingCheck,
+        Strategy,
     };
     pub use timely_nn::{Model, ModelBuilder};
     pub use timely_sim::{

@@ -2,9 +2,7 @@
 //! on TIMELY and on every baseline that supports it, and the reports are
 //! internally consistent.
 
-use timely::baselines::{
-    Accelerator, AtomLayerModel, EyerissModel, IsaacModel, PipeLayerModel, PrimeModel,
-};
+use timely::baselines::PrimeModel;
 use timely::prelude::*;
 
 #[test]
@@ -28,18 +26,15 @@ fn every_zoo_model_evaluates_on_timely_8bit() {
 
 #[test]
 fn every_zoo_model_evaluates_on_every_baseline() {
-    let baselines: Vec<Box<dyn Accelerator>> = vec![
-        Box::new(PrimeModel::default()),
-        Box::new(IsaacModel::default()),
-        Box::new(PipeLayerModel::new()),
-        Box::new(AtomLayerModel::new()),
-        Box::new(EyerissModel::new()),
-    ];
     for model in timely::nn::zoo::all_models() {
-        for baseline in &baselines {
-            let report = baseline
-                .evaluate(&model)
-                .unwrap_or_else(|e| panic!("{} on {} failed: {e}", baseline.name(), model.name()));
+        for baseline in baseline_registry() {
+            // A model a baseline cannot hold (e.g. MSRA-3 on one ISAAC chip)
+            // is a structured Unsupported answer, not a failure.
+            let report = match baseline.evaluate(&model) {
+                Ok(report) => report,
+                Err(EvalError::Unsupported { .. }) => continue,
+                Err(e) => panic!("{} on {} failed: {e}", baseline.name(), model.name()),
+            };
             assert!(
                 report.energy.total().as_femtojoules() > 0.0,
                 "{} on {}",
@@ -59,7 +54,7 @@ fn energy_ranking_is_stable_across_model_sizes() {
     let timely = TimelyAccelerator::new(TimelyConfig::paper_default());
     let prime = PrimeModel::default();
     for model in timely::nn::zoo::all_models() {
-        let t = Accelerator::evaluate(&timely, &model).unwrap();
+        let t = Backend::evaluate(&timely, &model).unwrap();
         let p = prime.evaluate(&model).unwrap();
         assert!(
             t.energy_millijoules() < p.energy_millijoules(),
