@@ -80,8 +80,22 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Computes the energy breakdown of one inference of a mapped model.
     pub fn for_mapping(mapping: &ModelMapping, config: &TimelyConfig) -> Self {
+        Self::for_counts(&mapping.totals, mapping.relu_ops, mapping.pool_ops, config)
+    }
+
+    /// Computes the breakdown from aggregate event counts plus the digital
+    /// post-processing op counts, without requiring a full [`ModelMapping`]
+    /// — the energy core behind [`Backend::bounds`](crate::Backend::bounds)
+    /// and the `timely-dse` hot path. Pairs with
+    /// [`ModelMapping::workload_totals`].
+    pub fn for_counts(
+        totals: &crate::mapping::LayerCounts,
+        relu_ops: u64,
+        pool_ops: u64,
+        config: &TimelyConfig,
+    ) -> Self {
         let c = &config.components;
-        let t = &mapping.totals;
+        let t = totals;
         let e = |count: u64, per_op: Energy| per_op * count as f64;
         Self {
             l1_input_reads: e(t.l1_input_reads, c.input_buffer_access.energy_per_op),
@@ -100,8 +114,8 @@ impl EnergyBreakdown {
             ),
             i_adder: e(t.i_adder_ops, c.i_adder.energy_per_op),
             charging: e(t.charging_ops, c.charging_comparator.energy_per_op),
-            relu: e(mapping.relu_ops, c.relu.energy_per_op),
-            maxpool: e(mapping.pool_ops, c.maxpool.energy_per_op),
+            relu: e(relu_ops, c.relu.energy_per_op),
+            maxpool: e(pool_ops, c.maxpool.energy_per_op),
             hyperlink: e(t.hyperlink_transfers, c.hyper_link.energy_per_op),
         }
     }

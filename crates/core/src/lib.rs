@@ -35,12 +35,13 @@ pub mod subchip;
 
 pub use area::AreaBreakdown;
 pub use backend::{
-    Backend, BackendId, EnergyByCategory, EvalError, EvalOutcome, PeakSpec, ServicePhysics,
+    Backend, BackendId, EnergyByCategory, EvalBounds, EvalError, EvalOutcome, PeakSpec,
+    ServicePhysics,
 };
 pub use config::{Features, MappingStrategy, TimelyConfig, TimelyConfigBuilder};
 pub use energy::{DataType, EnergyBreakdown, MemoryLevel};
 pub use error::{ArchError, TimelyError};
 pub use mapping::{LayerCounts, ModelMapping};
-pub use pipeline::{PeakPerformance, ThroughputReport};
+pub use pipeline::{LayerPlacement, PeakPerformance, ScheduleSummary, ThroughputReport};
 pub use report::{EvalReport, TimelyAccelerator};
 pub use subchip::SubChipGeometry;

@@ -153,6 +153,10 @@ impl ModelMapping {
             totals.accumulate(&counts);
             layers.push(counts);
         }
+        debug_assert_eq!(
+            Self::workload_totals(workload, config).as_ref(),
+            Ok(&totals)
+        );
         let capacity = SubChipGeometry::total_weight_capacity(config);
         let fits_on_chip = workload.total_weights() <= capacity;
         Ok(Self {
@@ -166,6 +170,31 @@ impl ModelMapping {
         })
     }
 
+    /// Aggregate event counts of a workload without materializing per-layer
+    /// records or their name strings — the counting core behind
+    /// [`Backend::bounds`](crate::Backend::bounds) and the `timely-dse` hot
+    /// path. Field-for-field equal to the `totals` of
+    /// [`ModelMapping::from_workload`] (same accumulation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for invalid configurations.
+    pub fn workload_totals(
+        workload: &ModelWorkload,
+        config: &TimelyConfig,
+    ) -> Result<LayerCounts, ArchError> {
+        config.validate()?;
+        let geometry = SubChipGeometry::from_config(config);
+        let mut totals = LayerCounts {
+            name: "total".to_string(),
+            ..LayerCounts::default()
+        };
+        for layer in &workload.layers {
+            totals.accumulate(&unnamed_layer_counts(layer, config, &geometry));
+        }
+        Ok(totals)
+    }
+
     /// Looks up the counts of a layer by name.
     pub fn layer(&self, name: &str) -> Option<&LayerCounts> {
         self.layers.iter().find(|l| l.name == name)
@@ -174,6 +203,20 @@ impl ModelMapping {
 
 /// Computes the event counts of one weighted layer.
 fn layer_counts(
+    layer: &LayerWorkload,
+    config: &TimelyConfig,
+    geometry: &SubChipGeometry,
+) -> LayerCounts {
+    LayerCounts {
+        name: layer.name.clone(),
+        ..unnamed_layer_counts(layer, config, geometry)
+    }
+}
+
+/// The counting model proper, shared by the per-layer and totals-only paths;
+/// leaves the name empty so the totals path never touches the allocator for
+/// layer names.
+fn unnamed_layer_counts(
     layer: &LayerWorkload,
     config: &TimelyConfig,
     geometry: &SubChipGeometry,
@@ -279,7 +322,7 @@ fn layer_counts(
     };
 
     LayerCounts {
-        name: layer.name.clone(),
+        name: String::new(),
         crossbars,
         l1_input_reads,
         l1_output_writes,
@@ -436,6 +479,28 @@ mod tests {
         assert_eq!(mlp.layers.len(), 4);
         assert!(mlp.totals.crossbar_column_activations > 0);
         assert!(mlp.layer("fc1").unwrap().l1_input_reads >= 784);
+    }
+
+    #[test]
+    fn workload_totals_equal_the_full_mapping_totals() {
+        let mut conventional = o2ir_config();
+        conventional.features = Features::none();
+        for cfg in [o2ir_config(), TimelyConfig::paper_16bit(), conventional] {
+            for model in [zoo::cnn_1(), zoo::vgg_d(), zoo::mlp_l()] {
+                let workload = ModelWorkload::try_analyze(&model).unwrap();
+                let mapping = ModelMapping::from_workload(&workload, &cfg).unwrap();
+                let totals = ModelMapping::workload_totals(&workload, &cfg).unwrap();
+                assert_eq!(totals, mapping.totals);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_totals_reject_invalid_configs() {
+        let workload = ModelWorkload::try_analyze(&zoo::cnn_1()).unwrap();
+        let mut cfg = o2ir_config();
+        cfg.crossbar_size = 0;
+        assert!(ModelMapping::workload_totals(&workload, &cfg).is_err());
     }
 
     #[test]

@@ -85,6 +85,163 @@ impl PeakPerformance {
     }
 }
 
+/// Per-layer placement geometry of a workload for one `(B, cells-per-weight)`
+/// choice: how many crossbars each layer occupies and how many output
+/// positions it must produce per input time slice.
+///
+/// A placement depends on the configuration *only* through the crossbar size
+/// and the sub-ranging width, so one placement is reusable across every
+/// configuration sharing those two values — which is exactly what hill-climb
+/// neighbors differing in γ, sub-chip geometry, sub-chip count, chip count,
+/// or feature toggles do. The `timely-dse` evaluator caches placements per
+/// `(B, cells_per_weight)` and rebuilds only the scale-dependent schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerPlacement {
+    crossbars: Vec<u64>,
+    position_base: Vec<u64>,
+}
+
+impl LayerPlacement {
+    /// Computes the placement of a workload for one crossbar size and
+    /// sub-ranging width.
+    pub fn for_workload(workload: &ModelWorkload, b: usize, cells_per_weight: usize) -> Self {
+        let mut crossbars = Vec::with_capacity(workload.layers.len());
+        let mut position_base = Vec::with_capacity(workload.layers.len());
+        for layer in &workload.layers {
+            crossbars.push(layer.crossbars_required(b, cells_per_weight));
+            position_base.push(if layer.is_conv {
+                (layer.output.height * layer.output.width) as u64
+            } else {
+                1
+            });
+        }
+        Self {
+            crossbars,
+            position_base,
+        }
+    }
+
+    /// Number of layers in the placement.
+    pub fn len(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// Whether the placement holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.crossbars.is_empty()
+    }
+
+    /// Crossbars needed to hold every layer's weights once (no duplication).
+    pub fn required_crossbars(&self) -> u64 {
+        self.crossbars.iter().sum()
+    }
+
+    /// Per-layer crossbar requirements, in execution order.
+    pub fn crossbars(&self) -> &[u64] {
+        &self.crossbars
+    }
+
+    /// Per-layer output positions for `input_slices` time slices, summed as
+    /// the duplication-weighting term `Σ crossbars_l × positions_l`.
+    fn weighted_positions(&self, input_slices: u64) -> f64 {
+        self.crossbars
+            .iter()
+            .zip(&self.position_base)
+            .map(|(&x, &p)| x as f64 * (p * input_slices) as f64)
+            .sum()
+    }
+}
+
+/// The balanced-duplication allocation for one layer: the duplication factor
+/// and the resulting cycle count (shared by [`ThroughputReport`] and the
+/// schedule-free [`ScheduleSummary`], so the two can never drift apart).
+fn balanced_duplication(pos: u64, scale: f64) -> (u64, u64) {
+    let duplication = ((scale * pos as f64).floor() as u64).clamp(1, pos.max(1));
+    (duplication, pos.div_ceil(duplication).max(1))
+}
+
+/// The duplication scale factor fitting the weighted mapping into the
+/// crossbar budget.
+fn duplication_scale(available: u64, weighted: f64) -> f64 {
+    if weighted > 0.0 {
+        (available as f64 / weighted).max(0.0)
+    } else {
+        1.0
+    }
+}
+
+/// An allocation-free aggregate of the layer-pipeline schedule: everything
+/// the latency/throughput formulas need, without materializing per-layer
+/// [`LayerSchedule`] records. This is the schedule core behind
+/// [`Backend::bounds`](crate::Backend::bounds) and the `timely-dse` hot
+/// path; its arithmetic is bit-identical to [`ThroughputReport`] (the shared
+/// helpers above), which a property test pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSummary {
+    /// Number of scheduled layers.
+    pub layers: usize,
+    /// Total pipeline cycles of one inference across all layers.
+    pub total_cycles: u64,
+    /// Cycles of the slowest (throughput-limiting) layer.
+    pub bottleneck_cycles: u64,
+    /// Crossbars used after duplication (clamped to the budget).
+    pub used_crossbars: u64,
+    /// Total crossbars available across all configured chips.
+    pub available_crossbars: u64,
+}
+
+impl ScheduleSummary {
+    /// Computes the schedule aggregate from a cached placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::ModelTooLarge`] if the weights do not fit even
+    /// without duplication.
+    pub fn for_placement(
+        placement: &LayerPlacement,
+        config: &TimelyConfig,
+    ) -> Result<Self, ArchError> {
+        let available = SubChipGeometry::crossbars_per_chip(config) * config.chips as u64;
+        let required = placement.required_crossbars();
+        if required > available {
+            return Err(ArchError::ModelTooLarge {
+                required_crossbars: required,
+                available_crossbars: available,
+            });
+        }
+        let input_slices = config.input_slices() as u64;
+        let scale = duplication_scale(available, placement.weighted_positions(input_slices));
+        let mut used = 0u64;
+        let mut max_cycles = 1u64;
+        let mut total_cycles = 0u64;
+        for (&xbars, &base) in placement.crossbars.iter().zip(&placement.position_base) {
+            let (duplication, cycles) = balanced_duplication(base * input_slices, scale);
+            used += xbars * duplication;
+            max_cycles = max_cycles.max(cycles);
+            total_cycles += cycles;
+        }
+        Ok(Self {
+            layers: placement.len(),
+            total_cycles,
+            bottleneck_cycles: max_cycles,
+            used_crossbars: used.min(available),
+            available_crossbars: available,
+        })
+    }
+
+    /// End-to-end latency of a single inference (the §IV-E 4-cycle fill per
+    /// layer included), identical to
+    /// [`ThroughputReport::single_inference_latency`].
+    pub fn single_inference_latency(&self, config: &TimelyConfig) -> Time {
+        pipeline_cycle(config) * (self.total_cycles as f64 + 4.0 * self.layers as f64)
+    }
+
+    /// The steady-state initiation interval of the layer pipeline.
+    pub fn initiation_interval(&self, config: &TimelyConfig) -> Time {
+        pipeline_cycle(config) * self.bottleneck_cycles as f64
+    }
+}
+
 /// Per-layer allocation and cycle count of the inter-sub-chip layer pipeline.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LayerSchedule {
@@ -152,23 +309,25 @@ impl ThroughputReport {
         workload: &ModelWorkload,
         config: &TimelyConfig,
     ) -> Result<Self, ArchError> {
-        let b = config.crossbar_size;
-        let cells_per_weight = config.cells_per_weight();
-        let available = SubChipGeometry::crossbars_per_chip(config) * config.chips as u64;
+        let placement =
+            LayerPlacement::for_workload(workload, config.crossbar_size, config.cells_per_weight());
+        Self::for_placement(workload, &placement, config)
+    }
 
-        // Crossbars and output positions per layer.
-        let mut crossbars = Vec::new();
-        let mut positions = Vec::new();
-        for layer in &workload.layers {
-            crossbars.push(layer.crossbars_required(b, cells_per_weight));
-            let pos = if layer.is_conv {
-                (layer.output.height * layer.output.width) as u64
-            } else {
-                1
-            };
-            positions.push(pos * config.input_slices() as u64);
-        }
-        let required: u64 = crossbars.iter().sum();
+    /// Builds the schedule from a pre-computed layer placement (cached by the
+    /// DSE evaluator across configurations sharing `(B, cells_per_weight)`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ThroughputReport::for_model`].
+    pub fn for_placement(
+        workload: &ModelWorkload,
+        placement: &LayerPlacement,
+        config: &TimelyConfig,
+    ) -> Result<Self, ArchError> {
+        debug_assert_eq!(placement.len(), workload.layers.len());
+        let available = SubChipGeometry::crossbars_per_chip(config) * config.chips as u64;
+        let required = placement.required_crossbars();
         if required > available {
             return Err(ArchError::ModelTooLarge {
                 required_crossbars: required,
@@ -178,23 +337,19 @@ impl ThroughputReport {
 
         // Balanced duplication: d_l proportional to positions_l, scaled so the
         // duplicated mapping fits in the crossbar budget.
-        let weighted: f64 = crossbars
-            .iter()
-            .zip(&positions)
-            .map(|(&x, &p)| x as f64 * p as f64)
-            .sum();
-        let scale = if weighted > 0.0 {
-            (available as f64 / weighted).max(0.0)
-        } else {
-            1.0
-        };
-        let mut layers = Vec::with_capacity(crossbars.len());
+        let input_slices = config.input_slices() as u64;
+        let scale = duplication_scale(available, placement.weighted_positions(input_slices));
+        let mut layers = Vec::with_capacity(placement.len());
         let mut used = 0u64;
         let mut max_cycles = 1u64;
         let mut total_cycles = 0u64;
-        for ((layer, &xbars), &pos) in workload.layers.iter().zip(&crossbars).zip(&positions) {
-            let duplication = ((scale * pos as f64).floor() as u64).clamp(1, pos.max(1));
-            let cycles = pos.div_ceil(duplication).max(1);
+        for ((layer, &xbars), &base) in workload
+            .layers
+            .iter()
+            .zip(&placement.crossbars)
+            .zip(&placement.position_base)
+        {
+            let (duplication, cycles) = balanced_duplication(base * input_slices, scale);
             used += xbars * duplication;
             max_cycles = max_cycles.max(cycles);
             total_cycles += cycles;
@@ -391,6 +546,80 @@ mod tests {
             }
             Err(other) => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn schedule_summary_matches_the_full_schedule_bitwise() {
+        let configs = [
+            TimelyConfig::paper_default(),
+            TimelyConfig::paper_16bit(),
+            TimelyConfig::builder().chips(4).gamma(4).build().unwrap(),
+            TimelyConfig::builder()
+                .crossbar_size(128)
+                .subchips_per_chip(27)
+                .build()
+                .unwrap(),
+        ];
+        for model in [zoo::cnn_1(), zoo::vgg_d(), zoo::resnet_18()] {
+            let workload = ModelWorkload::try_analyze(&model).unwrap();
+            for cfg in &configs {
+                let placement = LayerPlacement::for_workload(
+                    &workload,
+                    cfg.crossbar_size,
+                    cfg.cells_per_weight(),
+                );
+                let full = ThroughputReport::for_workload(&workload, cfg);
+                let summary = ScheduleSummary::for_placement(&placement, cfg);
+                match (full, summary) {
+                    (Ok(full), Ok(summary)) => {
+                        assert_eq!(summary.layers, full.layers.len());
+                        assert_eq!(
+                            summary.total_cycles,
+                            full.layers.iter().map(|l| l.cycles).sum::<u64>()
+                        );
+                        assert_eq!(summary.bottleneck_cycles, full.bottleneck_cycles());
+                        assert_eq!(summary.used_crossbars, full.used_crossbars);
+                        assert_eq!(summary.available_crossbars, full.available_crossbars);
+                        // Bitwise: the latency formulas share the same float ops.
+                        assert_eq!(
+                            summary.single_inference_latency(cfg).as_seconds().to_bits(),
+                            full.single_inference_latency.as_seconds().to_bits()
+                        );
+                        assert_eq!(
+                            summary.initiation_interval(cfg).as_seconds().to_bits(),
+                            full.initiation_interval().as_seconds().to_bits()
+                        );
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (full, summary) => {
+                        panic!("schedule paths disagree: full={full:?} summary={summary:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_reusable_across_configs_sharing_b_and_cell_width() {
+        // Same (B, cells_per_weight): the placement is identical even though
+        // γ, geometry, and chip count differ.
+        let workload = ModelWorkload::try_analyze(&zoo::vgg_d()).unwrap();
+        let a = TimelyConfig::paper_default();
+        let b = TimelyConfig::builder()
+            .gamma(4)
+            .subchip_geometry(8, 16)
+            .chips(3)
+            .build()
+            .unwrap();
+        assert_eq!(a.crossbar_size, b.crossbar_size);
+        assert_eq!(a.cells_per_weight(), b.cells_per_weight());
+        let pa = LayerPlacement::for_workload(&workload, a.crossbar_size, a.cells_per_weight());
+        let pb = LayerPlacement::for_workload(&workload, b.crossbar_size, b.cells_per_weight());
+        assert_eq!(pa, pb);
+        assert_eq!(pa.len(), workload.layers.len());
+        assert!(pa.required_crossbars() > 0);
+        assert_eq!(pa.crossbars().len(), pa.len());
+        assert!(!pa.is_empty());
     }
 
     #[test]

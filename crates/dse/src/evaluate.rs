@@ -32,7 +32,11 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use timely_core::accuracy::AccuracyStudy;
 use timely_core::backend::fold_cache_key;
-use timely_core::{AreaBreakdown, Backend, BackendId, EvalError, TimelyAccelerator, TimelyConfig};
+use timely_core::{
+    ArchError, AreaBreakdown, Backend, BackendId, EnergyBreakdown, EnergyByCategory, EvalError,
+    LayerPlacement, ModelMapping, ScheduleSummary, TimelyAccelerator, TimelyConfig,
+};
+use timely_nn::workload::ModelWorkload;
 use timely_nn::Model;
 use timely_sim::serving_check_backend;
 
@@ -64,19 +68,41 @@ impl Objectives {
         labels
     }
 
+    /// Number of objective axes.
+    pub fn dims(with_serving: bool) -> usize {
+        if with_serving {
+            5
+        } else {
+            4
+        }
+    }
+
     /// The raw objective vector (lower is better) consumed by the Pareto
     /// routines in [`crate::pareto`].
     pub fn vector(&self, with_serving: bool) -> Vec<f64> {
-        let mut v = vec![
-            self.energy_mj_per_inference,
-            self.latency_ms,
-            self.area_mm2,
-            self.noise_sigma_lsb,
-        ];
-        if with_serving {
-            v.push(self.p99_ms);
-        }
+        let mut v = Vec::with_capacity(Self::dims(with_serving));
+        self.extend_vector(with_serving, &mut v);
         v
+    }
+
+    /// Appends the objective vector to `out` without clearing it — the
+    /// allocation-free building block behind [`Objectives::vector`] and the
+    /// explorer's flat objective matrix.
+    pub fn extend_vector(&self, with_serving: bool, out: &mut Vec<f64>) {
+        out.push(self.energy_mj_per_inference);
+        out.push(self.latency_ms);
+        out.push(self.area_mm2);
+        out.push(self.noise_sigma_lsb);
+        if with_serving {
+            out.push(self.p99_ms);
+        }
+    }
+
+    /// Overwrites `out` with the objective vector (reusable scratch-buffer
+    /// variant of [`Objectives::vector`]).
+    pub fn write_vector(&self, with_serving: bool, out: &mut Vec<f64>) {
+        out.clear();
+        self.extend_vector(with_serving, out);
     }
 }
 
@@ -198,10 +224,70 @@ pub struct EvalStats {
     pub infeasible: usize,
 }
 
+impl EvalStats {
+    /// Evaluator lookups that missed the memo-cache (every fresh outcome,
+    /// whatever its kind).
+    pub fn cache_misses(&self) -> usize {
+        self.evaluations + self.pruned + self.infeasible
+    }
+
+    /// Total evaluator lookups: hits plus misses.
+    pub fn lookups(&self) -> usize {
+        self.cache_hits + self.cache_misses()
+    }
+}
+
+/// The verdict of the cheap bound computation behind screening
+/// ([`Evaluator::screen_bounds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundCheck {
+    /// The scratch buffer now holds an admissible lower-bound vector in
+    /// [`Objectives::vector`] order; the true outcome, if feasible, is
+    /// componentwise `>=` it.
+    Bounds,
+    /// The bounds alone prove the point can never produce a feasible report
+    /// (a config-only constraint is violated, or a workload model cannot
+    /// fit). Skipping `evaluate` loses nothing.
+    NeverFeasible,
+    /// No bounds are available (degenerate configuration or un-analyzable
+    /// workload); the caller must fall back to a full evaluation.
+    Unknown,
+}
+
+/// Why the shared workload-objective core failed, structured so the fresh
+/// evaluation path can reproduce the exact legacy reason strings and the
+/// screening path can classify without allocating.
+enum WorkloadFailure {
+    /// The model at this index cannot be analyzed at all.
+    Analysis(usize),
+    /// The architecture model rejected the model at this index.
+    Arch {
+        /// Index of the failing model in the workload set.
+        model: usize,
+        /// The underlying error.
+        err: ArchError,
+    },
+}
+
+/// Exact per-candidate workload numbers shared by evaluation and screening.
+struct WorkloadNumbers {
+    /// Mean energy per inference across the workload set, in mJ.
+    energy_mj: f64,
+    /// Mean single-inference latency across the workload set, in ms.
+    latency_ms: f64,
+    /// Smallest single-model latency, in ms — an admissible lower bound on
+    /// any latency percentile of any traffic mix over these models.
+    min_latency_ms: f64,
+}
+
 /// Evaluates design points against a workload set, with memoization.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     workloads: Vec<Model>,
+    /// Config-independent workload analyses, one per model, computed once at
+    /// construction. A failed analysis is reproduced as an infeasible reason
+    /// on every evaluation, matching the per-point trait path it replaces.
+    analyzed: Vec<Result<ModelWorkload, EvalError>>,
     constraints: Constraints,
     serving: Option<ServingCheck>,
     /// Memoized point outcomes, keyed on [`Backend::cache_key`] (backend id
@@ -210,6 +296,10 @@ pub struct Evaluator {
     cache: BTreeMap<u64, PointOutcome>,
     /// Memoized cross-architecture reference points, same key space.
     reference_cache: BTreeMap<u64, ReferencePoint>,
+    /// Per-`(crossbar_size, cells_per_weight)` layer placements, one per
+    /// model: the config-dependent-but-shareable half of the schedule, reused
+    /// across every candidate (and hill-climb neighbor) with the same pair.
+    placements: BTreeMap<(usize, usize), Vec<LayerPlacement>>,
     stats: EvalStats,
 }
 
@@ -221,12 +311,18 @@ impl Evaluator {
     /// Panics if `workloads` is empty.
     pub fn new(workloads: Vec<Model>) -> Self {
         assert!(!workloads.is_empty(), "evaluator needs at least one model");
+        let analyzed = workloads
+            .iter()
+            .map(|model| ModelWorkload::try_analyze(model).map_err(EvalError::from))
+            .collect();
         Self {
             workloads,
+            analyzed,
             constraints: Constraints::default(),
             serving: None,
             cache: BTreeMap::new(),
             reference_cache: BTreeMap::new(),
+            placements: BTreeMap::new(),
             stats: EvalStats::default(),
         }
     }
@@ -278,9 +374,7 @@ impl Evaluator {
             self.stats.cache_hits += 1;
             return hit.clone();
         }
-        let accelerator = TimelyAccelerator::new(config.clone());
-        debug_assert_eq!(key, accelerator.cache_key());
-        let outcome = self.evaluate_fresh(&accelerator, config_hash);
+        let outcome = self.evaluate_fresh(config, config_hash);
         match &outcome {
             PointOutcome::Feasible(_) => self.stats.evaluations += 1,
             PointOutcome::Pruned { .. } => self.stats.pruned += 1,
@@ -327,8 +421,158 @@ impl Evaluator {
         Ok(point)
     }
 
-    fn evaluate_fresh(&self, accelerator: &TimelyAccelerator, config_hash: u64) -> PointOutcome {
-        let config = accelerator.config();
+    /// Ensures the placement rows for one `(crossbar_size, cells_per_weight)`
+    /// pair exist, building them once from the cached workload analyses.
+    fn ensure_placements(&mut self, key: (usize, usize)) {
+        if !self.placements.contains_key(&key) {
+            let rows = self
+                .analyzed
+                .iter()
+                .map(|analysis| match analysis {
+                    Ok(workload) => LayerPlacement::for_workload(workload, key.0, key.1),
+                    // Never read: evaluation fails on the analysis error
+                    // before touching this row.
+                    Err(_) => LayerPlacement::default(),
+                })
+                .collect();
+            self.placements.insert(key, rows);
+        }
+    }
+
+    /// The exact workload numbers of one candidate, computed allocation-free
+    /// from the cached analyses and placements. This is the shared core of
+    /// [`Evaluator::evaluate`] and [`Evaluator::screen_bounds`]: both paths
+    /// run the same float operations in the same order, so a screened bound
+    /// is bit-identical to the objectives a full evaluation would produce.
+    ///
+    /// The arithmetic mirrors the [`Backend::evaluate`] trait path step for
+    /// step (schedule summary for latency; totals × per-op energies grouped
+    /// via [`EnergyByCategory::from_breakdown`] for energy), which the
+    /// incremental-equivalence property test pins bitwise.
+    fn workload_objectives(
+        &mut self,
+        config: &TimelyConfig,
+    ) -> Result<WorkloadNumbers, WorkloadFailure> {
+        let key = (config.crossbar_size, config.cells_per_weight());
+        self.ensure_placements(key);
+        let placements = &self.placements[&key];
+        let mut energy_mj = 0.0;
+        let mut latency_ms = 0.0;
+        let mut min_latency_ms = f64::INFINITY;
+        for (index, analysis) in self.analyzed.iter().enumerate() {
+            let workload = analysis
+                .as_ref()
+                .map_err(|_| WorkloadFailure::Analysis(index))?;
+            let summary = ScheduleSummary::for_placement(&placements[index], config)
+                .map_err(|err| WorkloadFailure::Arch { model: index, err })?;
+            let totals = ModelMapping::workload_totals(workload, config)
+                .map_err(|err| WorkloadFailure::Arch { model: index, err })?;
+            let energy = EnergyByCategory::from_breakdown(&EnergyBreakdown::for_counts(
+                &totals,
+                workload.relu_elements,
+                workload.pool_outputs,
+                config,
+            ));
+            energy_mj += energy.total().as_millijoules();
+            let latency = summary.single_inference_latency(config).as_seconds() * 1e3;
+            latency_ms += latency;
+            min_latency_ms = min_latency_ms.min(latency);
+        }
+        let count = self.analyzed.len() as f64;
+        Ok(WorkloadNumbers {
+            energy_mj: energy_mj / count,
+            latency_ms: latency_ms / count,
+            min_latency_ms,
+        })
+    }
+
+    /// Formats a workload failure into the legacy `"{model}: {error}"`
+    /// infeasibility reason, identical to what the per-point trait path
+    /// produced.
+    fn failure_reason(&self, failure: &WorkloadFailure) -> String {
+        match failure {
+            WorkloadFailure::Analysis(index) => {
+                let err = self.analyzed[*index]
+                    .as_ref()
+                    .expect_err("analysis failure carries an error");
+                format!("{}: {err}", self.workloads[*index].name())
+            }
+            WorkloadFailure::Arch { model, err } => {
+                let err = match err {
+                    ArchError::ModelTooLarge {
+                        required_crossbars,
+                        available_crossbars,
+                    } => EvalError::model_too_large(
+                        BackendId::Timely,
+                        *required_crossbars,
+                        *available_crossbars,
+                    ),
+                    other => EvalError::from(other.clone()),
+                };
+                format!("{}: {err}", self.workloads[*model].name())
+            }
+        }
+    }
+
+    /// Computes an admissible lower-bound vector for a candidate without a
+    /// full evaluation, writing it into `out` in [`Objectives::vector`]
+    /// order ([`BoundCheck::Bounds`]); or proves the candidate can never be
+    /// feasible ([`BoundCheck::NeverFeasible`]); or declines
+    /// ([`BoundCheck::Unknown`]).
+    ///
+    /// For TIMELY the analytic axes {energy, latency, area, noise} are exact
+    /// (computed through the same arithmetic as evaluation); only the p99
+    /// axis, when serving is enabled, is a strict lower bound (the smallest
+    /// single-model latency — no request of any traffic mix can complete
+    /// faster).
+    pub fn screen_bounds(&mut self, config: &TimelyConfig, out: &mut Vec<f64>) -> BoundCheck {
+        out.clear();
+        if config.validate().is_err() {
+            // Let the evaluator prune it (cheap) so the pruned counter and
+            // reason strings stay where they always were.
+            return BoundCheck::Unknown;
+        }
+        let noise_sigma_lsb = AccuracyStudy::from_config(config)
+            .noise_model()
+            .input_sigma_lsb;
+        if let Some(cap) = self.constraints.max_noise_sigma_lsb {
+            if noise_sigma_lsb > cap {
+                return BoundCheck::NeverFeasible;
+            }
+        }
+        let area_mm2 = AreaBreakdown::for_chip(config)
+            .total()
+            .as_square_millimeters()
+            * config.chips as f64;
+        if let Some(cap) = self.constraints.max_area_mm2 {
+            if area_mm2 > cap {
+                return BoundCheck::NeverFeasible;
+            }
+        }
+        let numbers = match self.workload_objectives(config) {
+            Ok(numbers) => numbers,
+            Err(WorkloadFailure::Arch {
+                err: ArchError::ModelTooLarge { .. },
+                ..
+            }) => return BoundCheck::NeverFeasible,
+            Err(_) => return BoundCheck::Unknown,
+        };
+        if let Some(cap) = self.constraints.max_latency_ms {
+            if numbers.latency_ms > cap {
+                return BoundCheck::NeverFeasible;
+            }
+        }
+        out.push(numbers.energy_mj);
+        out.push(numbers.latency_ms);
+        out.push(area_mm2);
+        out.push(noise_sigma_lsb);
+        if self.serving.is_some() {
+            out.push(numbers.min_latency_ms);
+        }
+        BoundCheck::Bounds
+    }
+
+    fn evaluate_fresh(&mut self, config: &TimelyConfig, config_hash: u64) -> PointOutcome {
         // Pre-screen 1: structural validity (divide-by-zero guards etc.).
         if let Err(err) = config.validate() {
             return PointOutcome::Pruned {
@@ -358,23 +602,18 @@ impl Evaluator {
             }
         }
 
-        // Workload evaluation through the unified backend trait.
-        let mut energy_mj = 0.0;
-        let mut latency_ms = 0.0;
-        for model in &self.workloads {
-            let outcome = match Backend::evaluate(accelerator, model) {
-                Ok(outcome) => outcome,
-                Err(err) => {
-                    return PointOutcome::Infeasible {
-                        reason: format!("{}: {err}", model.name()),
-                    }
+        // Workload evaluation through the cached-analysis fast path,
+        // bit-identical to the Backend::evaluate trait path it replaced.
+        let numbers = match self.workload_objectives(config) {
+            Ok(numbers) => numbers,
+            Err(failure) => {
+                return PointOutcome::Infeasible {
+                    reason: self.failure_reason(&failure),
                 }
-            };
-            energy_mj += outcome.energy_millijoules();
-            latency_ms += outcome.physics.single_inference_latency.as_seconds() * 1e3;
-        }
-        energy_mj /= self.workloads.len() as f64;
-        latency_ms /= self.workloads.len() as f64;
+            }
+        };
+        let energy_mj = numbers.energy_mj;
+        let latency_ms = numbers.latency_ms;
         if let Some(cap) = self.constraints.max_latency_ms {
             if latency_ms > cap {
                 return PointOutcome::Infeasible {

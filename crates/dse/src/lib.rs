@@ -59,11 +59,13 @@ pub mod search;
 pub mod space;
 
 pub use evaluate::{
-    Constraints, EvalStats, Evaluator, Objectives, PointOutcome, PointReport, ReferencePoint,
-    ServingCheck,
+    BoundCheck, Constraints, EvalStats, Evaluator, Objectives, PointOutcome, PointReport,
+    ReferencePoint, ServingCheck,
 };
-pub use pareto::{dominance_ranks, dominates, frontier_indices};
+pub use pareto::{
+    dominance_ranks, dominance_ranks_flat, dominates, frontier_indices, frontier_indices_flat,
+};
 pub use search::{
-    DseReport, Explorer, FrontierVerdict, ReferenceReport, ReferenceVerdict, Strategy,
+    DseReport, Explorer, FrontierVerdict, ReferenceReport, ReferenceVerdict, ScreenStats, Strategy,
 };
 pub use space::{Coords, SearchSpace, AXES};

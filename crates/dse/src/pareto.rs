@@ -33,7 +33,7 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 }
 
 /// Lexicographic comparison of two objective vectors (`total_cmp` per axis).
-fn lex(a: &[f64], b: &[f64]) -> Ordering {
+pub(crate) fn lex(a: &[f64], b: &[f64]) -> Ordering {
     for (x, y) in a.iter().zip(b) {
         let ord = x.total_cmp(y);
         if ord != Ordering::Equal {
@@ -76,6 +76,70 @@ pub fn dominance_ranks(points: &[Vec<f64>]) -> Vec<usize> {
                 !remaining
                     .iter()
                     .any(|&j| j != i && dominates(&points[j], &points[i]))
+            })
+            .collect();
+        assert!(
+            !front.is_empty(),
+            "dominance peeling stalled (non-finite objectives?)"
+        );
+        for &i in &front {
+            rank[i] = layer;
+        }
+        remaining.retain(|&i| rank[i] == UNRANKED);
+        layer += 1;
+    }
+    rank
+}
+
+/// Allocation-free variant of [`frontier_indices`] over a flat row-major
+/// matrix of `dims`-wide objective vectors. Same canonical ordering.
+///
+/// # Panics
+///
+/// Panics if `dims` is zero while `data` is non-empty, or if `data.len()` is
+/// not a multiple of `dims`.
+pub fn frontier_indices_flat(data: &[f64], dims: usize) -> Vec<usize> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    assert!(dims > 0, "objective vectors must have at least one axis");
+    assert_eq!(data.len() % dims, 0, "flat matrix must be rectangular");
+    let rows = data.len() / dims;
+    let row = |i: usize| &data[i * dims..(i + 1) * dims];
+    let mut frontier: Vec<usize> = (0..rows)
+        .filter(|&i| !(0..rows).any(|j| j != i && dominates(row(j), row(i))))
+        .collect();
+    frontier.sort_by(|&i, &j| lex(row(i), row(j)).then(i.cmp(&j)));
+    frontier
+}
+
+/// Allocation-free variant of [`dominance_ranks`] over a flat row-major
+/// matrix of `dims`-wide objective vectors.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`frontier_indices_flat`], and if the
+/// layer peeling stalls on non-finite objectives.
+pub fn dominance_ranks_flat(data: &[f64], dims: usize) -> Vec<usize> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    assert!(dims > 0, "objective vectors must have at least one axis");
+    assert_eq!(data.len() % dims, 0, "flat matrix must be rectangular");
+    let rows = data.len() / dims;
+    let row = |i: usize| &data[i * dims..(i + 1) * dims];
+    const UNRANKED: usize = usize::MAX;
+    let mut rank = vec![UNRANKED; rows];
+    let mut remaining: Vec<usize> = (0..rows).collect();
+    let mut layer = 0;
+    while !remaining.is_empty() {
+        let front: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(row(j), row(i)))
             })
             .collect();
         assert!(
@@ -134,6 +198,23 @@ mod tests {
         let fa: Vec<&Vec<f64>> = frontier_indices(&a).into_iter().map(|i| &a[i]).collect();
         let fb: Vec<&Vec<f64>> = frontier_indices(&b).into_iter().map(|i| &b[i]).collect();
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn flat_variants_agree_with_the_nested_ones() {
+        let points = vec![
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 2.0],
+            vec![4.0, 1.0, 9.0],
+            vec![3.0, 3.0, 3.0],
+            vec![5.0, 5.0, 5.0],
+            vec![1.0, 4.0, 2.0],
+        ];
+        let flat: Vec<f64> = points.iter().flatten().copied().collect();
+        assert_eq!(frontier_indices_flat(&flat, 3), frontier_indices(&points));
+        assert_eq!(dominance_ranks_flat(&flat, 3), dominance_ranks(&points));
+        assert!(frontier_indices_flat(&[], 4).is_empty());
+        assert!(dominance_ranks_flat(&[], 4).is_empty());
     }
 
     #[test]

@@ -15,13 +15,17 @@
 //! same strategies over the same space always produce byte-identical
 //! reports.
 
+use std::collections::BTreeSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use timely_core::{Backend, EvalError, TimelyConfig};
 
-use crate::evaluate::{EvalStats, Evaluator, PointOutcome, PointReport, ReferencePoint};
-use crate::pareto::{dominance_ranks, dominates, frontier_indices};
+use crate::evaluate::{
+    BoundCheck, EvalStats, Evaluator, Objectives, PointOutcome, PointReport, ReferencePoint,
+};
+use crate::pareto::{dominance_ranks_flat, dominates, frontier_indices_flat, lex};
 use crate::space::{Coords, SearchSpace};
 
 /// A deterministic search strategy over a [`SearchSpace`].
@@ -89,6 +93,20 @@ pub struct ReferenceReport {
     pub verdict: ReferenceVerdict,
 }
 
+/// How the explorer spent its candidate stream: every candidate offered
+/// (seeds and strategy visits alike) is either screened out by an
+/// admissible-bound dominance check or passed through to the evaluator, so
+/// `screened_out + evaluated == visited` holds by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreenStats {
+    /// Candidates offered to the explorer.
+    pub visited: usize,
+    /// Candidates discarded by bound-based screening without evaluation.
+    pub screened_out: usize,
+    /// Candidates handed to the evaluator (memo-cache hits included).
+    pub evaluated: usize,
+}
+
 /// The result of a design-space exploration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseReport {
@@ -106,6 +124,8 @@ pub struct DseReport {
     pub references: Vec<ReferenceReport>,
     /// How the search spent its evaluation budget.
     pub stats: EvalStats,
+    /// How the candidate stream split between screening and evaluation.
+    pub screening: ScreenStats,
 }
 
 impl DseReport {
@@ -155,9 +175,25 @@ pub struct Explorer {
     evaluator: Evaluator,
     /// Feasible points in first-seen order, deduplicated by config hash.
     pool: Vec<PointReport>,
+    /// Config hashes already in the pool (O(log n) dedup).
+    pooled: BTreeSet<u64>,
     /// Cross-architecture reference points in seed order, deduplicated by
     /// backend cache key.
     references: Vec<ReferencePoint>,
+    /// Whether bound-based screening is enabled (off by default).
+    screening: bool,
+    /// Candidate-stream accounting.
+    screen: ScreenStats,
+    /// Objective dimensionality (fixed by the evaluator's serving setting).
+    dims: usize,
+    /// The incremental Pareto archive of pooled points, as a flat row-major
+    /// matrix of `dims`-wide objective vectors. Candidates whose bound
+    /// vector is dominated by a row here can never reach the frontier.
+    archive: Vec<f64>,
+    /// Scratch for bound vectors (reused across candidates).
+    bound_buf: Vec<f64>,
+    /// Scratch for objective vectors (reused across candidates).
+    vector_buf: Vec<f64>,
 }
 
 impl Explorer {
@@ -168,12 +204,34 @@ impl Explorer {
     /// Panics if the space is empty.
     pub fn new(space: SearchSpace, evaluator: Evaluator) -> Self {
         assert!(!space.is_empty(), "search space has an empty axis");
+        let dims = Objectives::dims(evaluator.serving_enabled());
         Self {
             space,
             evaluator,
             pool: Vec::new(),
+            pooled: BTreeSet::new(),
             references: Vec::new(),
+            screening: false,
+            screen: ScreenStats::default(),
+            dims,
+            archive: Vec::new(),
+            bound_buf: Vec::new(),
+            vector_buf: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) bound-based screening: before evaluating a
+    /// candidate, the explorer computes admissible lower bounds on its
+    /// objectives ([`Evaluator::screen_bounds`]) and skips the evaluation
+    /// outright when an already-pooled point dominates the bound vector.
+    ///
+    /// Screening never changes the frontier — a point whose *lower bounds*
+    /// are dominated is itself dominated — it only skips work that cannot
+    /// produce a frontier point. Off by default so small-space studies keep
+    /// their exact historical point pools.
+    pub fn with_screening(mut self, enabled: bool) -> Self {
+        self.screening = enabled;
+        self
     }
 
     /// The space being explored.
@@ -181,10 +239,23 @@ impl Explorer {
         &self.space
     }
 
+    /// The evaluator's budget counters so far.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.evaluator.stats()
+    }
+
+    /// The candidate-stream accounting so far.
+    pub fn screen_stats(&self) -> ScreenStats {
+        self.screen
+    }
+
     /// Force-evaluates one configuration into the pool (e.g. the paper's
-    /// design point, so the frontier always relates to it).
+    /// design point, so the frontier always relates to it). Seeds are never
+    /// screened.
     pub fn seed_config(&mut self, config: &TimelyConfig) -> PointOutcome {
-        self.consider(config).1
+        self.screen.visited += 1;
+        self.screen.evaluated += 1;
+        self.evaluate_into_pool(config).1
     }
 
     /// Evaluates a baseline backend into the report's reference set, so the
@@ -222,22 +293,26 @@ impl Explorer {
 
     /// Builds the final report over everything evaluated so far.
     pub fn report(&self) -> DseReport {
-        let with_serving = self.evaluator.serving_enabled();
-        let mut points = self.pool.clone();
-        points.sort_by(|a, b| {
-            let va = a.objectives.vector(with_serving);
-            let vb = b.objectives.vector(with_serving);
-            va.iter()
-                .zip(&vb)
-                .map(|(x, y)| x.total_cmp(y))
-                .find(|o| o.is_ne())
-                .unwrap_or_else(|| a.config_hash.cmp(&b.config_hash))
+        let with_serving = self.dims > 4;
+        let dims = self.dims;
+        // One flat row-major objective matrix in pool order: no per-point or
+        // per-comparison vector allocations.
+        let mut flat = Vec::with_capacity(self.pool.len() * dims);
+        for point in &self.pool {
+            point.objectives.extend_vector(with_serving, &mut flat);
+        }
+        let row = |i: usize| &flat[i * dims..(i + 1) * dims];
+        let mut order: Vec<usize> = (0..self.pool.len()).collect();
+        order.sort_by(|&i, &j| {
+            lex(row(i), row(j))
+                .then_with(|| self.pool[i].config_hash.cmp(&self.pool[j].config_hash))
         });
-        let vectors: Vec<Vec<f64>> = points
-            .iter()
-            .map(|p| p.objectives.vector(with_serving))
-            .collect();
-        let frontier = frontier_indices(&vectors);
+        let points: Vec<PointReport> = order.iter().map(|&i| self.pool[i].clone()).collect();
+        let mut sorted = Vec::with_capacity(flat.len());
+        for &i in &order {
+            sorted.extend_from_slice(row(i));
+        }
+        let frontier = frontier_indices_flat(&sorted, dims);
         // Reference verdicts: a reference is dominated when some frontier
         // point beats it on the architecture-neutral {energy, latency, area}
         // sub-vector (the first three objectives).
@@ -248,7 +323,7 @@ impl Explorer {
                 let vector = point.vector();
                 let dominator = frontier
                     .iter()
-                    .find(|&&i| dominates(&vectors[i][..3], &vector));
+                    .find(|&&i| dominates(&sorted[i * dims..i * dims + 3], &vector));
                 ReferenceReport {
                     point: point.clone(),
                     verdict: match dominator {
@@ -259,44 +334,99 @@ impl Explorer {
             })
             .collect();
         DseReport {
-            objective_labels: crate::evaluate::Objectives::labels(with_serving)
+            objective_labels: Objectives::labels(with_serving)
                 .into_iter()
                 .map(str::to_string)
                 .collect(),
             frontier,
-            ranks: dominance_ranks(&vectors),
+            ranks: dominance_ranks_flat(&sorted, dims),
             points,
             references,
             stats: self.evaluator.stats(),
+            screening: self.screen,
         }
     }
 
-    /// Evaluates a configuration, pooling it if feasible and new. Returns
-    /// the hill-climb figure of merit (lower is better; `None` when the
-    /// point is pruned or infeasible).
-    fn consider(&mut self, config: &TimelyConfig) -> (Option<f64>, PointOutcome) {
+    /// Offers a configuration to the explorer: screens it when screening is
+    /// enabled, otherwise (or when it survives) evaluates it and pools it if
+    /// feasible and new. Returns the hill-climb figure of merit (lower is
+    /// better; `None` when the point is screened, pruned, or infeasible).
+    fn consider(&mut self, config: &TimelyConfig) -> Option<f64> {
+        self.screen.visited += 1;
+        if self.screening && self.screened_out(config) {
+            self.screen.screened_out += 1;
+            return None;
+        }
+        self.screen.evaluated += 1;
+        self.evaluate_into_pool(config).0
+    }
+
+    /// Whether bound-based screening discards this candidate: either its
+    /// bounds prove it can never be feasible, or an already-pooled point
+    /// dominates its admissible lower-bound vector (so the true outcome,
+    /// componentwise no better than the bounds, would be dominated too).
+    fn screened_out(&mut self, config: &TimelyConfig) -> bool {
+        match self.evaluator.screen_bounds(config, &mut self.bound_buf) {
+            BoundCheck::NeverFeasible => true,
+            BoundCheck::Unknown => false,
+            BoundCheck::Bounds => {
+                let bounds = &self.bound_buf;
+                self.archive
+                    .chunks_exact(self.dims)
+                    .any(|point| dominates(point, bounds))
+            }
+        }
+    }
+
+    /// Evaluates a configuration, pooling it if feasible and new.
+    fn evaluate_into_pool(&mut self, config: &TimelyConfig) -> (Option<f64>, PointOutcome) {
         let outcome = self.evaluator.evaluate(config);
         let fom = match &outcome {
             PointOutcome::Feasible(report) => {
-                if !self
-                    .pool
-                    .iter()
-                    .any(|p| p.config_hash == report.config_hash)
-                {
+                report
+                    .objectives
+                    .write_vector(self.dims > 4, &mut self.vector_buf);
+                if self.pooled.insert(report.config_hash) {
                     self.pool.push(report.clone());
+                    self.archive_insert();
                 }
-                Some(figure_of_merit(
-                    &report.objectives.vector(self.evaluator.serving_enabled()),
-                ))
+                Some(figure_of_merit(&self.vector_buf))
             }
             _ => None,
         };
         (fom, outcome)
     }
 
+    /// Inserts `vector_buf` into the incremental Pareto archive, dropping it
+    /// if dominated and evicting archive rows it dominates (in place, no
+    /// reallocation in the steady state).
+    fn archive_insert(&mut self) {
+        let dims = self.dims;
+        let vector = &self.vector_buf;
+        if self
+            .archive
+            .chunks_exact(dims)
+            .any(|point| dominates(point, vector))
+        {
+            return;
+        }
+        let mut keep = 0;
+        for i in 0..self.archive.len() / dims {
+            let start = i * dims;
+            if !dominates(vector, &self.archive[start..start + dims]) {
+                if keep != i {
+                    self.archive.copy_within(start..start + dims, keep * dims);
+                }
+                keep += 1;
+            }
+        }
+        self.archive.truncate(keep * dims);
+        self.archive.extend_from_slice(vector);
+    }
+
     fn consider_coords(&mut self, coords: &Coords) -> Option<f64> {
         let config = self.space.decode(coords);
-        self.consider(&config).0
+        self.consider(&config)
     }
 
     fn run_grid(&mut self, max_points: usize) {

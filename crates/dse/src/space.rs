@@ -97,6 +97,39 @@ impl SearchSpace {
         }
     }
 
+    /// A production-scale grid: every axis widened well past the paper
+    /// neighborhood, totalling 103,680 points. This is the space the
+    /// bound-based screening layer is built for — exhaustive enumeration is
+    /// only tractable because most candidates are discarded from their
+    /// admissible bounds without a full evaluation.
+    ///
+    /// Every γ divides every crossbar size and every cell precision divides
+    /// the smallest weight precision, so no point is structurally degenerate
+    /// on those axes (the evaluator still validates each point).
+    pub fn production_space() -> Self {
+        Self {
+            crossbar_sizes: vec![64, 128, 256, 512],
+            gammas: vec![2, 4, 8, 16, 32, 64],
+            cell_bits: vec![1, 2, 4],
+            precisions: vec![(4, 4), (8, 8), (16, 16)],
+            subchip_geometries: vec![(16, 12), (12, 16), (8, 12), (16, 16), (8, 8)],
+            subchips_per_chip: vec![13, 27, 53, 106, 212, 424],
+            chips: vec![1, 2, 4, 8],
+            feature_sets: vec![
+                Features::all(),
+                Features {
+                    o2ir_mapping: false,
+                    ..Features::all()
+                },
+                Features {
+                    time_domain_interfaces: false,
+                    ..Features::all()
+                },
+                Features::none(),
+            ],
+        }
+    }
+
     /// The per-axis choice counts, in axis order.
     pub fn axis_sizes(&self) -> [usize; AXES] {
         [
@@ -248,6 +281,30 @@ mod tests {
         let corner = space.neighbors(&[0; AXES]);
         let expansive = sizes.iter().filter(|&&s| s > 1).count();
         assert_eq!(corner.len(), expansive);
+    }
+
+    #[test]
+    fn production_space_is_large_and_well_formed() {
+        let space = SearchSpace::production_space();
+        assert_eq!(space.len(), 103_680);
+        assert!(space.len() >= 100_000);
+        // Spot-check decodability and validity across the index range: the
+        // axes are chosen so γ always divides the crossbar size and the cell
+        // precision always divides the weight precision.
+        let stride = space.len() / 97;
+        for i in (0..space.len()).step_by(stride) {
+            let config = space.config_at(i);
+            assert!(
+                config.validate().is_ok(),
+                "production point {i} is degenerate: {:?}",
+                config.validate()
+            );
+        }
+        // The paper's design point is in the grid.
+        let target = TimelyConfig::paper_default();
+        assert!(space.crossbar_sizes.contains(&target.crossbar_size));
+        assert!(space.gammas.contains(&target.gamma));
+        assert!(space.cell_bits.contains(&target.cell_bits));
     }
 
     #[test]

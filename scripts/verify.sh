@@ -19,4 +19,8 @@ cargo test -q -p timely-baselines   # backend trait-conformance suite
 cargo run --release -p timely-bench --bin serving_study -- --smoke > /dev/null
 cargo run --release -p timely-bench --bin dse_study -- --smoke > /dev/null
 cargo run --release -p timely-bench --bin backend_matrix > /dev/null
+# Soft perf gate: re-measure DSE/sim throughput and compare against the
+# committed BENCH_*.json baselines by ratio. Deltas are reported; only a
+# >2x slowdown fails (wall-clock noise between machines must not).
+cargo run --release -p timely-bench --bin perf_harness -- --smoke --check
 echo "tier-1 verify: OK"
