@@ -203,6 +203,8 @@ impl Crossbar {
         let mut charges = vec![0.0; self.cols];
         for row in 0..self.rows {
             let t_seconds = input_times[row].as_seconds();
+            // Exact-zero sentinel for "this input row is off" — an epsilon
+            // would skip real (tiny) charge times. lint:allow(float-eq)
             if t_seconds == 0.0 {
                 continue;
             }

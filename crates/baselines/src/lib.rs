@@ -76,21 +76,23 @@ pub fn baseline_registry() -> Vec<Box<dyn Backend>> {
 /// throughput study of Fig. 8(b). The peak-derived models (PipeLayer,
 /// AtomLayer) and the Eyeriss reference publish no multi-chip scaling, so
 /// they are not included.
-pub fn registry_with_chips(chips: usize) -> Vec<Box<dyn Backend>> {
-    vec![
-        Box::new(TimelyAccelerator::new(
-            TimelyConfig::builder()
-                .chips(chips)
-                .build()
-                .expect("paper default with a chip count is valid"),
-        )),
+///
+/// # Errors
+///
+/// Returns [`EvalError::Arch`] when `chips` does not produce a valid TIMELY
+/// configuration (e.g. zero chips) — a structured answer, never a panic, per
+/// the workspace's panic-freedom rule.
+pub fn registry_with_chips(chips: usize) -> Result<Vec<Box<dyn Backend>>, EvalError> {
+    let timely_config = TimelyConfig::builder().chips(chips).build()?;
+    Ok(vec![
+        Box::new(TimelyAccelerator::new(timely_config)),
         Box::new(PrimeModel::new(
             prime::PrimeConfig::paper_default().with_chips(chips),
         )),
         Box::new(IsaacModel::new(
             isaac::IsaacConfig::paper_default().with_chips(chips),
         )),
-    ]
+    ])
 }
 
 #[cfg(test)]
@@ -116,8 +118,8 @@ mod tests {
 
     #[test]
     fn chip_scaled_registry_has_distinct_cache_keys_per_chip_count() {
-        let one = registry_with_chips(1);
-        let sixteen = registry_with_chips(16);
+        let one = registry_with_chips(1).expect("1 chip is valid");
+        let sixteen = registry_with_chips(16).expect("16 chips is valid");
         for (a, b) in one.iter().zip(&sixteen) {
             assert_eq!(a.id(), b.id());
             assert_ne!(

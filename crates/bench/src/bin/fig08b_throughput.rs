@@ -35,7 +35,9 @@ fn main() {
     let chip_counts = [16usize, 32, 64];
 
     for &chips in &chip_counts {
-        for baseline in registry_with_chips(chips) {
+        let backends =
+            registry_with_chips(chips).unwrap_or_else(|err| panic!("{chips}-chip registry: {err}"));
+        for baseline in backends {
             // TIMELY itself is the normalization subject, not a row.
             if baseline.id() == BackendId::Timely {
                 continue;

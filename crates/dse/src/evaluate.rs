@@ -491,12 +491,16 @@ impl Evaluator {
     /// produced.
     fn failure_reason(&self, failure: &WorkloadFailure) -> String {
         match failure {
-            WorkloadFailure::Analysis(index) => {
-                let err = self.analyzed[*index]
-                    .as_ref()
-                    .expect_err("analysis failure carries an error");
-                format!("{}: {err}", self.workloads[*index].name())
-            }
+            WorkloadFailure::Analysis(index) => match self.analyzed[*index].as_ref() {
+                Err(err) => format!("{}: {err}", self.workloads[*index].name()),
+                // An Analysis failure records an Err slot by construction;
+                // if the record is ever out of sync, describe that instead
+                // of panicking inside an error-formatting path.
+                Ok(_) => format!(
+                    "{}: workload analysis failed (record out of sync)",
+                    self.workloads[*index].name()
+                ),
+            },
             WorkloadFailure::Arch { model, err } => {
                 let err = match err {
                     ArchError::ModelTooLarge {

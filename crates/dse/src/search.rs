@@ -158,12 +158,13 @@ impl DseReport {
             return Some(FrontierVerdict::OnFrontier);
         }
         let vector = target.objectives.vector(with_serving);
+        // A feasible non-frontier point is always dominated by some frontier
+        // point (dominance is a finite strict partial order); if that
+        // invariant were ever violated, answer None rather than panic — the
+        // Backend contract holds for the explorer's public surface too.
         let dominator = self
             .frontier_points()
-            .find(|p| dominates(&p.objectives.vector(with_serving), &vector))
-            // A feasible non-frontier point is always dominated by some
-            // frontier point (dominance is a finite strict partial order).
-            .expect("dominated point has a frontier dominator");
+            .find(|p| dominates(&p.objectives.vector(with_serving), &vector))?;
         Some(FrontierVerdict::DominatedBy(dominator.config_hash))
     }
 }

@@ -1,0 +1,339 @@
+//! `lint.toml` — the committed lint configuration and allowlist.
+//!
+//! The linter is dependency-free, so this module hand-rolls the tiny TOML
+//! subset the config needs: `[section]` tables, `[[allow]]` array-of-tables,
+//! string values, and string arrays (single- or multi-line). Anything
+//! outside that subset is a hard error — a malformed gate config must fail
+//! loudly, not lint an empty rule set and report green.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse/shape error in `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-indexed line of the offending entry (0 for file-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One `[[allow]]` entry: suppress `rule` across an entire file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule name being suppressed.
+    pub rule: String,
+    /// Workspace-relative path (forward slashes) of the file.
+    pub path: String,
+    /// Why the suppression is sound — required, so every committed
+    /// exception documents its invariant.
+    pub reason: String,
+}
+
+/// Per-rule settings: where the rule applies plus rule-specific word lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Path prefixes (workspace-relative) the rule is restricted to; empty
+    /// means "everywhere the scan reaches".
+    pub include: Vec<String>,
+    /// Extra string-array settings keyed by name (`quantity-words`,
+    /// `unit-tokens`, …), interpreted by the individual rule.
+    pub lists: BTreeMap<String, Vec<String>>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Directories (workspace-relative) to scan for `.rs` files.
+    pub scan_roots: Vec<String>,
+    /// Directory names excluded wherever they appear (`vendor`, `target`,
+    /// `fixtures`).
+    pub exclude_dirs: Vec<String>,
+    /// Per-rule configuration, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+    /// File-level allowlist entries.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl LintConfig {
+    /// True when `rule` applies to the (workspace-relative) `path`, per the
+    /// rule's `include` prefixes.
+    pub fn rule_applies(&self, rule: &str, path: &str) -> bool {
+        match self.rules.get(rule) {
+            Some(cfg) if !cfg.include.is_empty() => {
+                cfg.include.iter().any(|prefix| path.starts_with(prefix))
+            }
+            _ => true,
+        }
+    }
+
+    /// True when the allowlist suppresses `rule` for `path`.
+    pub fn is_allowlisted(&self, rule: &str, path: &str) -> bool {
+        self.allows.iter().any(|a| a.rule == rule && a.path == path)
+    }
+
+    /// The configured string-array list `key` for `rule`, if present.
+    pub fn rule_list(&self, rule: &str, key: &str) -> Option<&[String]> {
+        self.rules.get(rule)?.lists.get(key).map(|v| v.as_slice())
+    }
+}
+
+/// Where a parsed key/value should land.
+enum Section {
+    Top,
+    Rule(String),
+    Allow,
+}
+
+/// Parses the `lint.toml` text.
+pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+    let mut config = LintConfig::default();
+    let mut section = Section::Top;
+    let mut lines = text.lines().enumerate().peekable();
+
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if header.trim() != "allow" {
+                return Err(err(lineno, format!("unknown array table [[{header}]]")));
+            }
+            config.allows.push(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let header = header.trim();
+            section = if header == "scan" {
+                Section::Top
+            } else if let Some(rule) = header.strip_prefix("rules.") {
+                config.rules.entry(rule.to_string()).or_default();
+                Section::Rule(rule.to_string())
+            } else {
+                return Err(err(lineno, format!("unknown section [{header}]")));
+            };
+            continue;
+        }
+
+        let (key, value_text) = split_assignment(&line, lineno)?;
+        // Multi-line arrays: keep consuming lines until the bracket closes.
+        let mut value_text = value_text.to_string();
+        while value_text.starts_with('[') && !balanced(&value_text) {
+            match lines.next() {
+                Some((_, next)) => {
+                    value_text.push(' ');
+                    value_text.push_str(strip_comment(next).trim());
+                }
+                None => return Err(err(lineno, "unterminated array".to_string())),
+            }
+        }
+        let value = parse_value(&value_text, lineno)?;
+
+        match (&mut section, key.as_str(), value) {
+            (Section::Top, "roots", Value::Array(items)) => config.scan_roots = items,
+            (Section::Top, "exclude-dirs", Value::Array(items)) => config.exclude_dirs = items,
+            (Section::Rule(rule), "include", Value::Array(items)) => {
+                if let Some(r) = config.rules.get_mut(rule) {
+                    r.include = items;
+                }
+            }
+            (Section::Rule(rule), key, Value::Array(items)) => {
+                if let Some(r) = config.rules.get_mut(rule) {
+                    r.lists.insert(key.to_string(), items);
+                }
+            }
+            (Section::Allow, key, Value::Str(s)) => {
+                let entry = match config.allows.last_mut() {
+                    Some(entry) => entry,
+                    None => return Err(err(lineno, "key outside [[allow]]".to_string())),
+                };
+                match key {
+                    "rule" => entry.rule = s,
+                    "path" => entry.path = s,
+                    "reason" => entry.reason = s,
+                    other => {
+                        return Err(err(lineno, format!("unknown allow key `{other}`")));
+                    }
+                }
+            }
+            (_, key, _) => {
+                return Err(err(
+                    lineno,
+                    format!("unexpected key `{key}` for this section/value type"),
+                ));
+            }
+        }
+    }
+
+    for entry in &config.allows {
+        if entry.rule.is_empty() || entry.path.is_empty() || entry.reason.is_empty() {
+            return Err(err(
+                0,
+                format!(
+                    "incomplete [[allow]] entry (rule=`{}`, path=`{}`): rule, path, and reason are all required",
+                    entry.rule, entry.path
+                ),
+            ));
+        }
+    }
+    Ok(config)
+}
+
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+fn err(line: usize, message: String) -> ConfigError {
+    ConfigError { line, message }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_assignment(line: &str, lineno: usize) -> Result<(String, &str), ConfigError> {
+    match line.split_once('=') {
+        Some((key, value)) => Ok((key.trim().to_string(), value.trim())),
+        None => Err(err(lineno, format!("expected `key = value`, got `{line}`"))),
+    }
+}
+
+fn balanced(text: &str) -> bool {
+    let mut in_string = false;
+    let mut depth = 0i32;
+    for c in text.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ConfigError> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_top_level_commas(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_string(part, lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    Ok(Value::Str(parse_string(text, lineno)?))
+}
+
+fn split_top_level_commas(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut in_string = false;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_string(text: &str, lineno: usize) -> Result<String, ConfigError> {
+    text.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| err(lineno, format!("expected a quoted string, got `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[scan]
+roots = ["crates", "src"]
+exclude-dirs = ["vendor", "fixtures"]
+
+[rules.panic]
+include = [
+    "crates/core/src",
+    "crates/dse/src", # trailing comment
+]
+
+[rules.unit-suffix]
+quantity-words = ["energy", "latency"]
+
+[[allow]]
+rule = "panic"
+path = "crates/sim/src/engine.rs"
+reason = "queue invariant"
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = parse(SAMPLE).expect("sample parses");
+        assert_eq!(cfg.scan_roots, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude_dirs, vec!["vendor", "fixtures"]);
+        assert!(cfg.rule_applies("panic", "crates/core/src/pipeline.rs"));
+        assert!(!cfg.rule_applies("panic", "crates/sim/src/engine.rs"));
+        // Unconfigured rules apply everywhere.
+        assert!(cfg.rule_applies("float-eq", "crates/sim/src/engine.rs"));
+        assert!(cfg.is_allowlisted("panic", "crates/sim/src/engine.rs"));
+        assert!(!cfg.is_allowlisted("panic", "crates/sim/src/stats.rs"));
+        assert_eq!(
+            cfg.rule_list("unit-suffix", "quantity-words"),
+            Some(&["energy".to_string(), "latency".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn incomplete_allow_entries_are_rejected() {
+        let bad = "[[allow]]\nrule = \"panic\"\npath = \"x.rs\"\n";
+        let result = parse(bad);
+        assert!(result.is_err());
+        if let Err(e) = result {
+            assert!(e.message.contains("reason"));
+        }
+    }
+
+    #[test]
+    fn unknown_sections_are_rejected() {
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[[mystery]]\n").is_err());
+        assert!(parse("key-without-section\n").is_err());
+    }
+}

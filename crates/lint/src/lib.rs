@@ -1,0 +1,268 @@
+//! # timely-lint
+//!
+//! A self-hosted, dependency-free static analysis pass for the TIMELY
+//! workspace. The repo's correctness story rests on invariants `rustc`
+//! never checks:
+//!
+//! * **determinism** — golden files and screening bounds are pinned
+//!   byte-for-byte, so nothing on an output path may iterate a hash map,
+//!   read a wall clock, or use a process-keyed hasher;
+//! * **panic-freedom** — the `Backend` contract is "Unsupported, never
+//!   panic", so evaluation paths must return structured `EvalError`s instead
+//!   of unwrapping;
+//! * **unit discipline** — every objective is a raw `f64`, one pJ-vs-mJ slip
+//!   away from a wrong Pareto frontier, so public floats naming a physical
+//!   quantity must carry a canonical unit suffix;
+//! * **float equality** — bitwise pinning must say `.to_bits()`, not `==`.
+//!
+//! The linter walks every workspace `.rs` file with a small hand-rolled
+//! lexer (comments/strings/raw-strings aware), applies the rule families in
+//! [`rules::RULES`], and reports deterministically (sorted by path, line,
+//! rule — byte-identical across runs). Suppression is two-level: inline
+//! `// lint:allow(rule)` comments for point exceptions, and the committed
+//! `lint.toml` allowlist for whole-file exceptions, each with a reason.
+//!
+//! The `timely-lint` binary exits nonzero on any unsuppressed violation and
+//! is wired into `scripts/verify.sh` ahead of the golden-file studies.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::LintConfig;
+use rules::Finding;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One suppressed finding, kept for the report's accounting trailer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppressed {
+    pub path: String,
+    pub finding: Finding,
+    /// `"inline"` or `"allowlist"`.
+    pub via: &'static str,
+}
+
+/// The outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed violations, sorted by (path, line, rule, message).
+    pub violations: Vec<(String, Finding)>,
+    /// Suppressed findings, same order.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the deterministic report. With `fix_hints`, each violation is
+    /// followed by an indented `hint:` line suggesting the rewrite.
+    pub fn render(&self, fix_hints: bool) -> String {
+        let mut out = String::new();
+        for (path, finding) in &self.violations {
+            let _ = writeln!(
+                out,
+                "{path}:{}: [{}] {}",
+                finding.line, finding.rule, finding.message
+            );
+            if fix_hints {
+                let _ = writeln!(out, "    hint: {}", finding.hint);
+            }
+        }
+        let inline = self.suppressed.iter().filter(|s| s.via == "inline").count();
+        let allowlist = self.suppressed.len() - inline;
+        let _ = writeln!(
+            out,
+            "timely-lint: {} violation(s), {} suppressed ({inline} inline, {allowlist} allowlist), {} files scanned",
+            self.violations.len(),
+            self.suppressed.len(),
+            self.files_scanned
+        );
+        out
+    }
+}
+
+/// A fatal linter error (I/O or config), distinct from lint findings.
+#[derive(Debug)]
+pub enum LintError {
+    /// `lint.toml` could not be read or parsed.
+    Config(String),
+    /// A source file or directory could not be read.
+    Io { path: PathBuf, message: String },
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Config(msg) => write!(f, "config error: {msg}"),
+            LintError::Io { path, message } => {
+                write!(f, "io error on {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Loads and parses `<root>/lint.toml`.
+pub fn load_config(root: &Path) -> Result<LintConfig, LintError> {
+    let path = root.join("lint.toml");
+    let text = fs::read_to_string(&path).map_err(|e| LintError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    config::parse(&text).map_err(|e| LintError::Config(e.to_string()))
+}
+
+/// Collects every `.rs` file under the configured scan roots, sorted by
+/// workspace-relative path — the walk order (and therefore the report) is
+/// deterministic regardless of filesystem enumeration order.
+pub fn collect_files(root: &Path, config: &LintConfig) -> Result<Vec<PathBuf>, LintError> {
+    let mut files = Vec::new();
+    for scan_root in &config.scan_roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &config.exclude_dirs, &mut files)?;
+        } else if dir.is_file() && dir.extension().is_some_and(|e| e == "rs") {
+            files.push(dir);
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(dir: &Path, exclude: &[String], out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if exclude.iter().any(|ex| *ex == name) {
+                continue;
+            }
+            walk(&path, exclude, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (the report's path syntax,
+/// stable across platforms).
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints one file's source text under `config`, splitting findings into
+/// violations and suppressions. `rel_path` scopes the rules.
+pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> LintReport {
+    let lexed = lexer::lex(source);
+    let mut report = LintReport {
+        files_scanned: 1,
+        ..Default::default()
+    };
+    for finding in rules::check_file(rel_path, &lexed, config) {
+        if lexed.is_allowed(finding.rule, finding.line) {
+            report.suppressed.push(Suppressed {
+                path: rel_path.to_string(),
+                finding,
+                via: "inline",
+            });
+        } else if config.is_allowlisted(finding.rule, rel_path) {
+            report.suppressed.push(Suppressed {
+                path: rel_path.to_string(),
+                finding,
+                via: "allowlist",
+            });
+        } else {
+            report.violations.push((rel_path.to_string(), finding));
+        }
+    }
+    report
+}
+
+/// Lints every configured file under `root` (the workspace checkout).
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, LintError> {
+    let files = collect_files(root, config)?;
+    let mut report = LintReport::default();
+    for path in &files {
+        let source = fs::read_to_string(path).map_err(|e| LintError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        let rel = relative_path(root, path);
+        let file_report = lint_source(&rel, &source, config);
+        report.violations.extend(file_report.violations);
+        report.suppressed.extend(file_report.suppressed);
+        report.files_scanned += 1;
+    }
+    report.violations.sort();
+    report.suppressed.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_allow_suppresses_and_is_accounted() {
+        let config = LintConfig::default();
+        let src = "fn f() {\n    let t = Instant::now(); // lint:allow(wall-clock) harness\n}\n";
+        let report = lint_source("crates/x/src/lib.rs", src, &config);
+        assert!(report.is_clean());
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].via, "inline");
+        let rendered = report.render(false);
+        assert!(rendered.contains("0 violation(s), 1 suppressed (1 inline, 0 allowlist)"));
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_rule_and_path() {
+        let mut config = LintConfig::default();
+        config.allows.push(config::AllowEntry {
+            rule: "wall-clock".to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            reason: "the perf harness measures wall time by design".to_string(),
+        });
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let report = lint_source("crates/x/src/lib.rs", src, &config);
+        assert!(report.is_clean());
+        assert_eq!(report.suppressed[0].via, "allowlist");
+        // Same source at a different path is a violation.
+        let other = lint_source("crates/y/src/lib.rs", src, &config);
+        assert_eq!(other.violations.len(), 1);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_hints_are_optional() {
+        let config = LintConfig::default();
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let report = lint_source("crates/x/src/lib.rs", src, &config);
+        let a = report.render(true);
+        let b = report.render(true);
+        assert_eq!(a, b);
+        assert!(a.contains("hint:"));
+        assert!(!report.render(false).contains("hint:"));
+    }
+}

@@ -1,0 +1,114 @@
+//! The `timely-lint` gate binary.
+//!
+//! ```text
+//! timely-lint [--root DIR] [--fix-hints] [--rules] [--list-files]
+//! ```
+//!
+//! Reads `<root>/lint.toml`, lints every configured `.rs` file, prints the
+//! deterministic report to stdout, and exits nonzero when any unsuppressed
+//! violation exists (exit 2 for usage/config/IO errors). `--fix-hints`
+//! appends the suggested rewrite under each violation.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes to stdout, tolerating a closed pipe (`timely-lint --rules | head`
+/// must not panic — the linter holds itself to its own panic-freedom rule).
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+struct Options {
+    root: PathBuf,
+    fix_hints: bool,
+    list_rules: bool,
+    list_files: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        fix_hints: false,
+        list_rules: false,
+        list_files: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => options.root = PathBuf::from(dir),
+                None => return Err("--root requires a directory argument".to_string()),
+            },
+            "--fix-hints" => options.fix_hints = true,
+            "--rules" => options.list_rules = true,
+            "--list-files" => options.list_files = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: timely-lint [--root DIR] [--fix-hints] [--rules] [--list-files]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("timely-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list_rules {
+        for (rule, description) in timely_lint::rules::RULES {
+            emit(&format!("{rule}: {description}\n"));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = match timely_lint::load_config(&options.root) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("timely-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list_files {
+        match timely_lint::collect_files(&options.root, &config) {
+            Ok(files) => {
+                for file in files {
+                    emit(&format!(
+                        "{}\n",
+                        timely_lint::relative_path(&options.root, &file)
+                    ));
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(err) => {
+                eprintln!("timely-lint: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match timely_lint::lint_workspace(&options.root, &config) {
+        Ok(report) => {
+            emit(&report.render(options.fix_hints));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("timely-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Fixture-based gate tests: one seeded-violation fixture per rule family
+//! that must FAIL, one clean fixture that must PASS, and an allowlist
+//! round-trip through a real `allow.toml`. The fixtures live under
+//! `tests/fixtures/` (excluded from both compilation and the workspace
+//! scan), and are linted here under synthetic production `src/` paths so
+//! every rule is in force.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use timely_lint::{config, lint_source, LintReport};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints a fixture as if it sat on a production source path.
+fn lint_fixture(name: &str, config: &config::LintConfig) -> LintReport {
+    let synthetic_path = format!("crates/demo/src/{name}");
+    lint_source(&synthetic_path, &fixture(name), config)
+}
+
+fn count_by_rule(report: &LintReport) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for (_, finding) in &report.violations {
+        *counts.entry(finding.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn panic_fixture_fails_with_all_four_forms() {
+    let report = lint_fixture("panic_violation.rs", &config::LintConfig::default());
+    assert!(!report.is_clean());
+    let counts = count_by_rule(&report);
+    // unwrap, expect, panic!, unreachable! — and nothing from the test mod.
+    assert_eq!(
+        counts.get("panic"),
+        Some(&4),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+}
+
+#[test]
+fn determinism_fixture_fails_on_all_three_rules() {
+    let report = lint_fixture("determinism_violation.rs", &config::LintConfig::default());
+    let counts = count_by_rule(&report);
+    // use + declaration + construction sites each fire.
+    assert_eq!(
+        counts.get("hash-order"),
+        Some(&3),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.get("process-hash"), Some(&3));
+    // SystemTime in the use list + Instant::now.
+    assert_eq!(counts.get("wall-clock"), Some(&2));
+}
+
+#[test]
+fn unit_fixture_fails_on_bare_quantity_names() {
+    let report = lint_fixture("unit_violation.rs", &config::LintConfig::default());
+    let counts = count_by_rule(&report);
+    // energy, total_latency (fields) and energy_total (fn); the typed
+    // `interval: Time`, the suffixed names, and `utilization` stay silent.
+    assert_eq!(
+        counts.get("unit-suffix"),
+        Some(&3),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+    let messages: Vec<&str> = report
+        .violations
+        .iter()
+        .map(|(_, f)| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("`energy`")));
+    assert!(messages.iter().any(|m| m.contains("`total_latency`")));
+    assert!(messages.iter().any(|m| m.contains("`energy_total`")));
+}
+
+#[test]
+fn float_eq_fixture_fails_three_times() {
+    let report = lint_fixture("float_eq_violation.rs", &config::LintConfig::default());
+    let counts = count_by_rule(&report);
+    assert_eq!(
+        counts.get("float-eq"),
+        Some(&3),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+}
+
+#[test]
+fn clean_fixture_passes_with_one_inline_suppression() {
+    let report = lint_fixture("clean.rs", &config::LintConfig::default());
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].via, "inline");
+    assert_eq!(report.suppressed[0].finding.rule, "wall-clock");
+}
+
+#[test]
+fn allowlist_round_trips_through_a_real_toml_file() {
+    // Without the allowlist: two violations.
+    let bare = lint_fixture("allowlisted.rs", &config::LintConfig::default());
+    let counts = count_by_rule(&bare);
+    assert_eq!(counts.get("panic"), Some(&1));
+    assert_eq!(counts.get("wall-clock"), Some(&1));
+
+    // With allow.toml parsed from disk: both suppressed, attributed to the
+    // allowlist, and the entries carry their mandatory reasons.
+    let parsed = config::parse(&fixture("allow.toml")).expect("allow.toml parses");
+    assert_eq!(parsed.allows.len(), 2);
+    assert!(parsed.allows.iter().all(|a| !a.reason.is_empty()));
+    let report = lint_fixture("allowlisted.rs", &parsed);
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 2);
+    assert!(report.suppressed.iter().all(|s| s.via == "allowlist"));
+
+    // The allowlist is rule+path scoped: the same source at another path
+    // still fails.
+    let elsewhere = lint_source(
+        "crates/other/src/allowlisted.rs",
+        &fixture("allowlisted.rs"),
+        &parsed,
+    );
+    assert_eq!(elsewhere.violations.len(), 2);
+}
+
+#[test]
+fn fixture_reports_are_byte_identical_across_runs() {
+    let runs: Vec<String> = (0..2)
+        .map(|_| {
+            lint_fixture("determinism_violation.rs", &config::LintConfig::default()).render(true)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert!(runs[0].contains("hint:"));
+}

@@ -1,0 +1,12 @@
+//! A fixture whose violations are suppressed by `allow.toml`'s [[allow]]
+//! entries rather than inline comments — the allowlist round-trip.
+//! (Fixture — never compiled.)
+
+pub fn invariant_expect(x: Option<u32>) -> u32 {
+    x.expect("covered by the file-level allowlist")
+}
+
+pub fn measured() -> bool {
+    let start = Instant::now();
+    start.elapsed().as_nanos() > 0
+}

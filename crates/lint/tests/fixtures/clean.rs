@@ -1,0 +1,45 @@
+//! A fixture that must lint clean under every rule family: errors flow as
+//! Results, collections are ordered, names carry units, float comparisons
+//! are bitwise, and the one wall-clock read is explicitly allowed inline.
+//! (Fixture — never compiled.)
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub struct Outcome {
+    pub energy_mj: f64,
+    pub latency_ms: f64,
+    pub area_mm2: f64,
+    pub utilization: f64,
+}
+
+pub fn ordered_counts(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut counts = BTreeMap::new();
+    for v in values {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn checked_get(xs: &[u64], i: usize) -> Result<u64, String> {
+    xs.get(i).copied().ok_or_else(|| format!("index {i} out of range"))
+}
+
+pub fn bitwise_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn timed_probe() -> u128 {
+    // This fixture's designated measurement point. lint:allow(wall-clock)
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_here() {
+        assert_eq!(super::checked_get(&[1], 0).unwrap(), 1);
+        assert!(0.1 + 0.2 == 0.30000000000000004); // float == fine in tests
+    }
+}

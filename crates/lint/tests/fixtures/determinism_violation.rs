@@ -1,0 +1,20 @@
+//! Seeded determinism violations: hash-order, wall-clock, and process-hash
+//! must each fire exactly where marked. (Fixture — never compiled.)
+
+use std::collections::HashMap; // hash-order
+use std::hash::DefaultHasher; // process-hash
+use std::time::{Instant, SystemTime}; // wall-clock (SystemTime token)
+
+pub fn nondeterministic_iteration() -> Vec<u64> {
+    let counts: HashMap<u64, u64> = HashMap::new(); // hash-order (x2)
+    counts.keys().copied().collect()
+}
+
+pub fn wall_clock_read() -> bool {
+    let start = Instant::now(); // wall-clock
+    start.elapsed().as_nanos() > 0
+}
+
+pub fn process_keyed_hash() -> DefaultHasher {
+    DefaultHasher::new() // process-hash
+}

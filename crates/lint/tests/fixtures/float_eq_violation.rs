@@ -1,0 +1,21 @@
+//! Seeded float-equality violations. (Fixture — never compiled.)
+
+pub fn eq_literal(x: f64) -> bool {
+    x == 0.0 // violation
+}
+
+pub fn ne_literal(x: f64) -> bool {
+    1.5 != x // violation
+}
+
+pub fn eq_negative(x: f64) -> bool {
+    x == -1.0 // violation
+}
+
+pub fn fine_integer(x: u32) -> bool {
+    x == 0 // integers compare exactly
+}
+
+pub fn fine_bitwise(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits() // the sanctioned bitwise form
+}

@@ -1,0 +1,32 @@
+//! Seeded panic-family violations: every line here must be caught when this
+//! fixture is linted under a production `src/` path. (Fixture — not compiled
+//! into any crate; the `fixtures` directory is excluded from the workspace
+//! scan.)
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Result<u32, String>) -> u32 {
+    x.expect("seeded violation")
+}
+
+pub fn panics() {
+    panic!("seeded violation");
+}
+
+pub fn unreachable_macro(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!("seeded violation"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code: unwraps here must NOT be reported.
+    #[test]
+    fn fine_in_tests() {
+        Some(1).unwrap();
+    }
+}

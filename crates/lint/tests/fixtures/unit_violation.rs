@@ -1,0 +1,27 @@
+//! Seeded unit-discipline violations: public raw floats naming physical
+//! quantities without a unit component. (Fixture — never compiled.)
+
+pub struct Objectives {
+    /// Violation: which unit? pJ and mJ differ by nine orders of magnitude.
+    pub energy: f64,
+    /// Violation: seconds? milliseconds?
+    pub total_latency: f64,
+    /// Fine: carries `_mm2`.
+    pub area_mm2: f64,
+    /// Fine: dimensionless.
+    pub utilization: f64,
+    /// Fine: typed wrapper carries its own unit.
+    pub interval: Time,
+}
+
+impl Objectives {
+    /// Violation: a raw-float getter with no unit in its name.
+    pub fn energy_total(&self) -> f64 {
+        self.energy
+    }
+
+    /// Fine: `_mj` component.
+    pub fn energy_mj_per_request(&self) -> f64 {
+        self.energy
+    }
+}

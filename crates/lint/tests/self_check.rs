@@ -1,0 +1,66 @@
+//! The self-hosting gate: the live workspace must lint clean under the
+//! committed `lint.toml`, and the report must be byte-identical across
+//! runs. If this test fails, either new code violated an invariant (fix it
+//! or justify an allow) or a rule regressed (fix the linter).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    let report = timely_lint::lint_workspace(&root, &config).expect("workspace lints");
+    assert!(
+        report.is_clean(),
+        "unsuppressed violations:\n{}",
+        report.render(true)
+    );
+    // The gate is real: it scanned a meaningful slice of the workspace and
+    // its suppressions are the committed ones, not an accidental empty walk.
+    assert!(
+        report.files_scanned > 60,
+        "only {} files scanned — scan roots are wrong",
+        report.files_scanned
+    );
+    assert!(!report.suppressed.is_empty());
+}
+
+#[test]
+fn live_workspace_report_is_deterministic() {
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    let a = timely_lint::lint_workspace(&root, &config)
+        .expect("workspace lints")
+        .render(true);
+    let b = timely_lint::lint_workspace(&root, &config)
+        .expect("workspace lints")
+        .render(true);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn every_committed_allow_entry_names_a_real_file_and_rule() {
+    // Allowlist hygiene: entries must point at files that exist (no stale
+    // suppressions surviving refactors) and at rules the linter knows.
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    for entry in &config.allows {
+        assert!(
+            root.join(&entry.path).is_file(),
+            "allowlist entry for missing file: {}",
+            entry.path
+        );
+        assert!(
+            timely_lint::rules::RULES
+                .iter()
+                .any(|(r, _)| *r == entry.rule),
+            "allowlist entry for unknown rule: {}",
+            entry.rule
+        );
+        assert!(!entry.reason.is_empty());
+    }
+}

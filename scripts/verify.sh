@@ -11,11 +11,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo build --release --workspace --all-targets
+# Compiler warnings are gate failures: the workspace must build warning-free.
+RUSTFLAGS="-D warnings" cargo build --release --workspace --all-targets
 cargo test -q
 cargo test -q -p timely-sim
 cargo test -q -p timely-dse
 cargo test -q -p timely-baselines   # backend trait-conformance suite
+cargo test -q -p timely-lint        # lexer/rule units + fixtures + self-check
+# Static analysis gate (lint.toml): determinism, panic-freedom, unit
+# discipline, float-eq. Runs before the golden-file studies so an invariant
+# slip fails fast with file:line [rule] output; use --fix-hints locally for
+# suggested rewrites.
+cargo run --release -p timely-lint -- --fix-hints
 cargo run --release -p timely-bench --bin serving_study -- --smoke > /dev/null
 cargo run --release -p timely-bench --bin dse_study -- --smoke > /dev/null
 cargo run --release -p timely-bench --bin backend_matrix > /dev/null
