@@ -1,0 +1,55 @@
+//! Machine-readable study artifacts behind the bench bins' `--json` flags.
+//!
+//! The bins' default stdout is golden-pinned human tables; these records are
+//! the same results as data. Everything here round-trips through the
+//! vendored serde stubs (`serde::json::to_string` / `from_str`), so a
+//! downstream consumer — or the bin itself, self-validating in `verify.sh` —
+//! can parse an artifact back without external dependencies.
+
+use serde::{Deserialize, Serialize};
+use timely_sim::SimReport;
+
+/// One point of the serving sweep: the swept coordinates plus the full
+/// simulator report they produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSweepRecord {
+    /// Model name.
+    pub model: String,
+    /// Fleet size in chips.
+    pub chips: u64,
+    /// Scheduler policy label (as printed in the table).
+    pub policy: String,
+    /// Offered load as a fraction of fleet capacity.
+    pub load: f64,
+    /// The simulator's full report for this point.
+    pub report: SimReport,
+}
+
+/// The serving study's sweep as one machine-readable artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingStudyArtifact {
+    /// The study's RNG seed.
+    pub seed: u64,
+    /// Whether this was a `--smoke` (CI-sized) run.
+    pub smoke: bool,
+    /// The per-model sweep, in sweep order (model × chips × policy × load).
+    pub sweep: Vec<ServingSweepRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_round_trip_through_the_serde_stubs() {
+        let artifact = ServingStudyArtifact {
+            seed: 0x5E21,
+            smoke: true,
+            sweep: Vec::new(),
+        };
+        let json = serde::json::to_string(&artifact);
+        let back: ServingStudyArtifact = serde::json::from_str(&json).expect("round-trips");
+        assert_eq!(back, artifact);
+        assert!(json.contains("\"seed\":24097"));
+    }
+}

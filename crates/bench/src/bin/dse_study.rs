@@ -7,6 +7,14 @@
 //! Run with `cargo run --release -p timely-bench --bin dse_study`; pass
 //! `--smoke` for a fast CI-sized run. Everything is seeded, so repeated runs
 //! print byte-identical output (pinned by a golden-file test).
+//!
+//! Observability flags (all deterministic; notes go to stderr so the
+//! golden-pinned stdout is untouched):
+//!
+//! * `--trace <path>` writes a Chrome trace-event JSON with one span per
+//!   search strategy on the logical candidate axis (1 tick = 1 candidate);
+//! * `--metrics <path>` writes the `dse.screen.*` / `dse.eval.*` counters as
+//!   a sorted text report.
 
 use timely_baselines::baseline_registry;
 use timely_bench::table::Table;
@@ -16,11 +24,21 @@ use timely_dse::{
     ServingCheck, Strategy,
 };
 use timely_nn::zoo;
+use timely_obs::{ChromeTrace, TraceRecorder};
 
 const SEED: u64 = 0xD5E4;
 
+/// The value following `flag`, if present (e.g. `--trace out.json`).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1).map(String::as_str)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path = flag_value(&args, "--trace");
+    let metrics_path = flag_value(&args, "--metrics");
     let min_evaluated = if smoke { 20 } else { 200 };
 
     // The search setup: the default neighborhood around the paper's design
@@ -90,8 +108,9 @@ fn main() {
             ),
         ]
     };
+    let mut recorder = TraceRecorder::new();
     for (_, strategy) in &strategies {
-        explorer.run(strategy);
+        explorer.run_recorded(strategy, &mut recorder);
     }
     // Every baseline backend enters as a fixed cross-architecture reference
     // point on the {energy, latency, area} axes.
@@ -100,8 +119,20 @@ fn main() {
             .seed_reference(backend.as_ref())
             .unwrap_or_else(|err| panic!("{} reference failed: {err}", backend.name()));
     }
+    explorer.record_stats(&mut recorder);
     let space_len = explorer.space().len();
     let report = explorer.report();
+
+    // One-line screening/cache summary on stderr (stdout is golden-pinned).
+    eprintln!(
+        "dse telemetry: visited={} screened_out={} evaluated={} cache_hits={} lookups={}",
+        report.screening.visited,
+        report.screening.screened_out,
+        report.screening.evaluated,
+        report.stats.cache_hits,
+        report.stats.lookups()
+    );
+    export_telemetry(&recorder, trace_path, metrics_path);
 
     // --- Search summary ------------------------------------------------------
     let mut summary = Table::new(
@@ -203,6 +234,35 @@ fn main() {
     // --- Production-scale screened sweep (full runs only) --------------------
     if !smoke {
         production_screening_study(&constraints);
+    }
+}
+
+/// Writes the recorded telemetry: a Chrome trace-event JSON (one span per
+/// strategy; the time axis is the logical candidate counter, so 1 trace
+/// microsecond = 1 candidate visited) and/or a sorted text metrics report.
+/// The trace is validated by parsing it back through the serde stubs before
+/// it is written; both exports are byte-identical across runs.
+fn export_telemetry(
+    recorder: &TraceRecorder,
+    trace_path: Option<&str>,
+    metrics_path: Option<&str>,
+) {
+    if let Some(path) = trace_path {
+        let trace = ChromeTrace::from_recorder(recorder, 1.0);
+        let json = trace.to_json();
+        let parsed = ChromeTrace::from_json(&json).expect("trace export parses back");
+        assert_eq!(
+            parsed.events.len(),
+            trace.events.len(),
+            "trace round-trip preserves every event"
+        );
+        std::fs::write(path, &json).expect("trace file is writable");
+        eprintln!("wrote trace: {path} ({} events)", trace.events.len());
+    }
+    if let Some(path) = metrics_path {
+        let text = recorder.metrics().render_text();
+        std::fs::write(path, &text).expect("metrics file is writable");
+        eprintln!("wrote metrics: {path} ({} lines)", text.lines().count());
     }
 }
 

@@ -23,6 +23,7 @@ use timely_bench::perf::{gate_line, ArmStats, DseBench, GateVerdict, SimBench};
 use timely_core::TimelyConfig;
 use timely_dse::{Constraints, Evaluator, Explorer, SearchSpace, Strategy};
 use timely_nn::zoo;
+use timely_obs::Profiler;
 use timely_sim::serving_check;
 
 const SEED: u64 = 0xBE9C;
@@ -38,8 +39,11 @@ fn main() {
     let check = args.iter().any(|a| a == "--check");
     let mode = if smoke { "smoke" } else { "full" };
 
-    let dse = measure_dse(smoke);
-    let sim = measure_sim(smoke);
+    // Phase breakdown in the wall-clock profiling domain (the harness's
+    // native domain — everything it prints is machine-dependent anyway).
+    let mut profiler = Profiler::start();
+    let dse = profiler.time("measure_dse", || measure_dse(smoke));
+    let sim = profiler.time("measure_sim", || measure_sim(smoke));
     println!(
         "dse [{mode}]: screened {} pts in {:.3}s ({:.0}/s, {} evaluated), \
          unscreened {} pts in {:.3}s ({:.0}/s), speedup {:.2}x",
@@ -67,7 +71,9 @@ fn main() {
         println!("blessed {} and {}", dse_path.display(), sim_path.display());
     }
 
-    if check && !run_gate(&dse, &sim) {
+    let gate_pass = !check || profiler.time("gate", || run_gate(&dse, &sim));
+    println!("{}", profiler.render());
+    if !gate_pass {
         std::process::exit(1);
     }
 }

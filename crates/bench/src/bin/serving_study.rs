@@ -5,19 +5,39 @@
 //! Run with `cargo run --release -p timely-bench --bin serving_study`; pass
 //! `--smoke` for a fast CI-sized run. Everything is seeded, so repeated runs
 //! print identical numbers.
+//!
+//! Observability flags (all deterministic):
+//!
+//! * `--json` prints the per-model sweep as a machine-readable
+//!   [`ServingStudyArtifact`] instead of the tables;
+//! * `--trace <path>` writes a Chrome trace-event JSON of one canonical
+//!   traced serving run (open in `chrome://tracing` or Perfetto);
+//! * `--metrics <path>` writes the same run's metrics report as sorted text.
 
 use timely_baselines::IsaacModel;
+use timely_bench::artifacts::{ServingStudyArtifact, ServingSweepRecord};
 use timely_bench::table::{format_percent, Table};
 use timely_core::{Backend, TimelyAccelerator, TimelyConfig};
 use timely_nn::zoo;
+use timely_obs::{ChromeTrace, TraceRecorder};
 use timely_sim::{
     ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, TrafficSpec,
 };
 
 const SEED: u64 = 0x5E21;
 
+/// The value following `flag`, if present (e.g. `--trace out.json`).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1).map(String::as_str)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let trace_path = flag_value(&args, "--trace");
+    let metrics_path = flag_value(&args, "--metrics");
     let requests_per_point = if smoke { 200.0 } else { 2_000.0 };
 
     let models = zoo::serving_benchmarks();
@@ -39,6 +59,7 @@ fn main() {
             "util", "mJ/req",
         ],
     );
+    let mut sweep: Vec<ServingSweepRecord> = Vec::new();
     for model in &models {
         let profile = match timely_sim::ModelProfile::for_model(model, &chip_config) {
             Ok(profile) => profile,
@@ -70,6 +91,15 @@ fn main() {
                         process: ArrivalProcess::Poisson { rate },
                         mix: ModelMix::single(0),
                     });
+                    if json {
+                        sweep.push(ServingSweepRecord {
+                            model: model.name().to_string(),
+                            chips: chips as u64,
+                            policy: policy.label(),
+                            load,
+                            report: report.clone(),
+                        });
+                    }
                     table.row(&[
                         model.name().to_string(),
                         chips.to_string(),
@@ -87,16 +117,107 @@ fn main() {
             }
         }
     }
-    table.print();
+    if json {
+        // Machine-readable mode: the sweep as one artifact, nothing else on
+        // stdout. The artifact round-trips through the vendored serde stubs.
+        let artifact = ServingStudyArtifact {
+            seed: SEED,
+            smoke,
+            sweep,
+        };
+        println!("{}", serde::json::to_string(&artifact));
+    } else {
+        table.print();
 
-    // --- Mixed model-zoo workload under bursty traffic -----------------------
-    mixed_zoo_study(&models, &chip_config, requests_per_point);
+        // --- Mixed model-zoo workload under bursty traffic -------------------
+        mixed_zoo_study(&models, &chip_config, requests_per_point);
 
-    // --- Low-load cross-check against the analytical model -------------------
-    analytical_crosscheck(&models, &chip_config, requests_per_point);
+        // --- Low-load cross-check against the analytical model ---------------
+        analytical_crosscheck(&models, &chip_config, requests_per_point);
 
-    // --- Cross-backend fleets through the unified Backend trait --------------
-    cross_backend_study(requests_per_point);
+        // --- Cross-backend fleets through the unified Backend trait ----------
+        cross_backend_study(requests_per_point);
+    }
+
+    // --- Optional deterministic trace/metrics export --------------------------
+    if trace_path.is_some() || metrics_path.is_some() {
+        traced_export(
+            &models,
+            &chip_config,
+            requests_per_point,
+            trace_path,
+            metrics_path,
+        );
+    }
+}
+
+/// Runs one canonical traced serving run (the whole zoo on 2 chips under
+/// shortest-queue at 70 % load) and exports its telemetry: a Chrome
+/// trace-event JSON to `trace_path` and/or a sorted text metrics report to
+/// `metrics_path`. The run is fully seeded, so both exports are
+/// byte-identical across runs; the trace is validated by parsing it back
+/// through the serde stubs before it is written. Progress notes go to
+/// stderr so golden-pinned stdout is untouched.
+fn traced_export(
+    models: &[timely_nn::Model],
+    config: &TimelyConfig,
+    requests: f64,
+    trace_path: Option<&str>,
+    metrics_path: Option<&str>,
+) {
+    let profiles: Vec<timely_sim::ModelProfile> = models
+        .iter()
+        .map(|m| {
+            timely_sim::ModelProfile::for_model(m, config).expect("serving models fit on one chip")
+        })
+        .collect();
+    let chips = 2;
+    let rate = 0.7
+        * profiles
+            .iter()
+            .map(timely_sim::ModelProfile::capacity_rps)
+            .fold(f64::INFINITY, f64::min)
+        * chips as f64;
+    let max_latency = profiles.iter().map(|p| p.latency_s).fold(0.0, f64::max);
+    let duration_s = (requests / rate).max(50.0 * max_latency);
+    let sim = ServingSimulator::new(
+        models,
+        config,
+        SimConfig {
+            seed: SEED,
+            duration_s,
+            chips,
+            policy: Policy::ShortestQueue,
+            sharding: Sharding::Replicate,
+        },
+    )
+    .expect("serving models fit on one chip");
+    let mut recorder = TraceRecorder::new();
+    sim.run_recorded(
+        &TrafficSpec {
+            process: ArrivalProcess::Poisson { rate },
+            mix: ModelMix::uniform(models.len()),
+        },
+        &mut recorder,
+    );
+    if let Some(path) = trace_path {
+        // Simulated seconds -> trace microseconds.
+        let trace = ChromeTrace::from_recorder(&recorder, 1e6);
+        let json = trace.to_json();
+        let parsed = ChromeTrace::from_json(&json).expect("trace export parses back");
+        assert_eq!(
+            parsed.events.len(),
+            trace.events.len(),
+            "trace round-trip preserves every event"
+        );
+        std::fs::write(path, &json).expect("trace file is writable");
+        eprintln!("wrote trace: {path} ({} events)", trace.events.len());
+    }
+    if let Some(path) = metrics_path {
+        let text = recorder.metrics().render_text();
+        std::fs::write(path, &text).expect("metrics file is writable");
+        eprintln!("wrote metrics: {path} ({} lines)", text.lines().count());
+    }
 }
 
 /// Serves CNN-1 on three fleets of the same size but different silicon:

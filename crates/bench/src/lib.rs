@@ -6,6 +6,7 @@
 //! performance-tracking records behind `perf_harness` and the committed
 //! `BENCH_*.json` baselines.
 
+pub mod artifacts;
 pub mod perf;
 pub mod table;
 

@@ -86,11 +86,49 @@ fn check_golden_output(name: &str, actual: &str) {
 
 #[test]
 fn golden_serving_study_smoke() {
-    check_golden(
-        "serving_study_smoke.txt",
+    if capped() {
+        eprintln!("GOLDEN_RUNS=0: skipping serving_study golden + trace export check");
+        return;
+    }
+    // One run exercises the observability flags alongside the tables: the
+    // flags must leave golden-pinned stdout untouched, and the trace and
+    // metrics exports are deterministic files, so they are golden-pinned
+    // too (the trace byte-identical across machines and runs).
+    let tmp = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let trace_path = tmp.join("serving_trace_smoke.json");
+    let metrics_path = tmp.join("serving_metrics_smoke.txt");
+    let stdout = run(
         env!("CARGO_BIN_EXE_serving_study"),
-        &["--smoke"],
+        &[
+            "--smoke",
+            "--trace",
+            trace_path.to_str().expect("tmpdir path is UTF-8"),
+            "--metrics",
+            metrics_path.to_str().expect("tmpdir path is UTF-8"),
+        ],
     );
+    check_golden_output("serving_study_smoke.txt", &stdout);
+    let trace = std::fs::read_to_string(&trace_path).expect("serving_study wrote the trace");
+    check_golden_output("serving_trace_smoke.json", &trace);
+    let metrics = std::fs::read_to_string(&metrics_path).expect("serving_study wrote the metrics");
+    check_golden_output("serving_metrics_smoke.txt", &metrics);
+}
+
+#[test]
+fn serving_study_json_artifact_parses_back() {
+    if capped() {
+        eprintln!("GOLDEN_RUNS=0: skipping serving_study --json check");
+        return;
+    }
+    let stdout = run(env!("CARGO_BIN_EXE_serving_study"), &["--smoke", "--json"]);
+    let artifact: timely_bench::artifacts::ServingStudyArtifact =
+        serde::json::from_str(stdout.trim()).expect("--json output parses back");
+    assert!(artifact.smoke);
+    assert!(!artifact.sweep.is_empty());
+    assert!(artifact
+        .sweep
+        .iter()
+        .all(|record| record.report.completed <= record.report.offered));
 }
 
 #[test]

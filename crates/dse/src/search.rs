@@ -60,6 +60,21 @@ pub enum Strategy {
     },
 }
 
+impl Strategy {
+    /// A short deterministic label for telemetry span names, e.g.
+    /// `grid/full`, `grid/64`, `random/200`, `hill-climb/4x16`.
+    pub fn label(&self) -> String {
+        match *self {
+            Strategy::Grid { max_points } if max_points == usize::MAX => "grid/full".to_string(),
+            Strategy::Grid { max_points } => format!("grid/{max_points}"),
+            Strategy::Random { samples, .. } => format!("random/{samples}"),
+            Strategy::HillClimb {
+                starts, max_steps, ..
+            } => format!("hill-climb/{starts}x{max_steps}"),
+        }
+    }
+}
+
 /// The outcome of checking a configuration against a frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FrontierVerdict {
@@ -290,6 +305,41 @@ impl Explorer {
                 seed,
             } => self.run_hill_climb(starts, max_steps, seed),
         }
+    }
+
+    /// Runs one strategy and records a phase span for it: track 0, category
+    /// `dse.strategy`, named by [`Strategy::label`], spanning the strategy's
+    /// slice of the candidate stream on the explorer's logical time axis
+    /// (cumulative candidates visited). Searches are not hot per-candidate,
+    /// so dynamic dispatch is fine here — no generic bound to thread through
+    /// callers.
+    pub fn run_recorded(&mut self, strategy: &Strategy, recorder: &mut dyn timely_obs::Recorder) {
+        let start = self.screen.visited as f64;
+        self.run(strategy);
+        recorder.span(
+            0,
+            &strategy.label(),
+            "dse.strategy",
+            start,
+            self.screen.visited as f64,
+        );
+    }
+
+    /// Promotes the explorer's accounting into `recorder`'s registry under
+    /// stable `dse.screen.*` / `dse.eval.*` counter keys. Call once after
+    /// the strategies finish; counters are cumulative, so calling it again
+    /// would double-count.
+    pub fn record_stats(&self, recorder: &mut dyn timely_obs::Recorder) {
+        let screen = self.screen;
+        recorder.counter_add("dse.screen.visited", screen.visited as u64);
+        recorder.counter_add("dse.screen.screened_out", screen.screened_out as u64);
+        recorder.counter_add("dse.screen.evaluated", screen.evaluated as u64);
+        let stats = self.evaluator.stats();
+        recorder.counter_add("dse.eval.evaluations", stats.evaluations as u64);
+        recorder.counter_add("dse.eval.cache_hits", stats.cache_hits as u64);
+        recorder.counter_add("dse.eval.cache_misses", stats.cache_misses() as u64);
+        recorder.counter_add("dse.eval.pruned", stats.pruned as u64);
+        recorder.counter_add("dse.eval.infeasible", stats.infeasible as u64);
     }
 
     /// Builds the final report over everything evaluated so far.
@@ -655,6 +705,98 @@ mod tests {
             .points
             .iter()
             .all(|p| p.config.subchips_per_chip != 13));
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert_eq!(
+            Strategy::Grid {
+                max_points: usize::MAX
+            }
+            .label(),
+            "grid/full"
+        );
+        assert_eq!(Strategy::Grid { max_points: 64 }.label(), "grid/64");
+        assert_eq!(
+            Strategy::Random {
+                samples: 200,
+                seed: 9
+            }
+            .label(),
+            "random/200"
+        );
+        assert_eq!(
+            Strategy::HillClimb {
+                starts: 4,
+                max_steps: 16,
+                seed: 9
+            }
+            .label(),
+            "hill-climb/4x16"
+        );
+    }
+
+    #[test]
+    fn recorded_runs_span_the_candidate_stream_and_promote_stats() {
+        let mut ex = explorer();
+        let mut recorder = timely_obs::TraceRecorder::new();
+        ex.run_recorded(
+            &Strategy::Grid {
+                max_points: usize::MAX,
+            },
+            &mut recorder,
+        );
+        ex.run_recorded(
+            &Strategy::Random {
+                samples: 20,
+                seed: 5,
+            },
+            &mut recorder,
+        );
+        ex.record_stats(&mut recorder);
+        // One contiguous span per strategy on the logical candidate axis.
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "grid/full");
+        assert_eq!(spans[0].cat, "dse.strategy");
+        assert_eq!(spans[0].start_ts, 0.0);
+        assert_eq!(spans[0].end_ts, 12.0);
+        assert_eq!(spans[1].name, "random/20");
+        assert_eq!(spans[1].start_ts, 12.0);
+        assert_eq!(spans[1].end_ts, 32.0);
+        // The promoted counters tie out against the report's accounting.
+        let report = ex.report();
+        let metrics = recorder.metrics();
+        assert_eq!(
+            metrics.counter("dse.screen.visited"),
+            report.screening.visited as u64
+        );
+        assert_eq!(
+            metrics.counter("dse.screen.evaluated"),
+            report.screening.evaluated as u64
+        );
+        assert_eq!(
+            metrics.counter("dse.eval.evaluations"),
+            report.stats.evaluations as u64
+        );
+        assert_eq!(
+            metrics.counter("dse.eval.cache_hits"),
+            report.stats.cache_hits as u64
+        );
+        assert_eq!(
+            metrics.counter("dse.eval.cache_hits") + metrics.counter("dse.eval.cache_misses"),
+            report.stats.lookups() as u64
+        );
+        // Recording never perturbs the search itself.
+        let mut plain = explorer();
+        plain.run(&Strategy::Grid {
+            max_points: usize::MAX,
+        });
+        plain.run(&Strategy::Random {
+            samples: 20,
+            seed: 5,
+        });
+        assert_eq!(plain.report(), report);
     }
 
     #[test]

@@ -135,6 +135,52 @@ fn allowlist_round_trips_through_a_real_toml_file() {
 }
 
 #[test]
+fn committed_wall_clock_allow_is_scoped_to_the_obs_profiler() {
+    // Parse the repository's real lint.toml, not a fixture config: this
+    // test pins the *committed* wall-clock policy.
+    let committed = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../lint.toml");
+    let text = std::fs::read_to_string(&committed)
+        .unwrap_or_else(|e| panic!("read {}: {e}", committed.display()));
+    let parsed = config::parse(&text).expect("workspace lint.toml parses");
+    let wall_clock_allows: Vec<_> = parsed
+        .allows
+        .iter()
+        .filter(|a| a.rule == "wall-clock")
+        .collect();
+    // Exactly one file-level wall-clock exception, and it is the profiler.
+    assert_eq!(
+        wall_clock_allows.len(),
+        1,
+        "wall-clock [[allow]] entries: {wall_clock_allows:?}"
+    );
+    assert_eq!(wall_clock_allows[0].path, "crates/obs/src/profiler.rs");
+    assert!(!wall_clock_allows[0].reason.is_empty());
+
+    // The same wall-clock read is clean at the profiler's path...
+    let source = fixture("wall_clock_scoped.rs");
+    let at_profiler = lint_source("crates/obs/src/profiler.rs", &source, &parsed);
+    assert!(
+        at_profiler.is_clean(),
+        "violations: {:?}",
+        at_profiler.violations
+    );
+    assert!(at_profiler
+        .suppressed
+        .iter()
+        .any(|s| s.via == "allowlist" && s.finding.rule == "wall-clock"));
+
+    // ...and still a violation one file over, inside the same crate.
+    let elsewhere = lint_source("crates/obs/src/metrics.rs", &source, &parsed);
+    let counts = count_by_rule(&elsewhere);
+    assert_eq!(
+        counts.get("wall-clock"),
+        Some(&1),
+        "violations: {:?}",
+        elsewhere.violations
+    );
+}
+
+#[test]
 fn fixture_reports_are_byte_identical_across_runs() {
     let runs: Vec<String> = (0..2)
         .map(|_| {

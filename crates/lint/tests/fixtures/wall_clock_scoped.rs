@@ -1,0 +1,12 @@
+//! Seeded wall-clock fixture: exactly one `Instant::now` read and nothing
+//! else. The committed workspace `lint.toml` allows the wall-clock rule only
+//! at `crates/obs/src/profiler.rs`; the scoping test lints this source there
+//! (clean, suppressed via the allowlist) and at a sibling obs path (one
+//! violation), proving the exception does not leak past the profiler module.
+
+use std::time::Instant;
+
+/// Reads the wall clock once.
+pub fn elapsed_since_call_seconds() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}

@@ -1,0 +1,537 @@
+//! Deterministic metrics: counters, high-water gauges, and log-bucketed
+//! histograms in one registry with a canonical, sorted-by-key report.
+//!
+//! Everything here lives in the deterministic time domain: values come from
+//! simulated time or logical counters, containers are `BTreeMap`s, and both
+//! report formats ([`MetricsRegistry::render_text`] and
+//! [`MetricsRegistry::render_json`]) emit keys in sorted order, so reports
+//! are byte-identical across runs and safe to pin with golden files.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Serialize, Serializer};
+
+/// A histogram over fixed log-scale bucket edges.
+///
+/// Bucket `i` covers the half-open range `[edges[i], edges[i+1])`; values
+/// below the first edge land in a dedicated underflow bucket and values at
+/// or above the last edge in an overflow bucket, so no sample is lost.
+/// Edges are generated once by repeated multiplication (no logarithms at
+/// record time), which keeps bucketing exact and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket boundaries, `buckets + 1` of them.
+    edges: Vec<f64>,
+    /// Underflow, the `buckets` interior counts, then overflow.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Why two registries (or histograms) refused to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// The metric key whose definitions disagree.
+    pub key: String,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram {:?} has incompatible bucket edges across registries",
+            self.key
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl Histogram {
+    /// A histogram whose buckets grow geometrically from `start` by `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start > 0`, `ratio > 1` (both finite), and
+    /// `buckets > 0`.
+    pub fn log_scale(start: f64, ratio: f64, buckets: usize) -> Self {
+        assert!(start > 0.0 && start.is_finite(), "start must be > 0");
+        assert!(ratio > 1.0 && ratio.is_finite(), "ratio must be > 1");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let mut edges = Vec::with_capacity(buckets + 1);
+        let mut edge = start;
+        for _ in 0..=buckets {
+            edges.push(edge);
+            edge *= ratio;
+        }
+        Self {
+            edges,
+            counts: vec![0; buckets + 2],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The registry's default shape: powers of two from `2^-10` (~0.001),
+    /// 48 buckets, covering ~1e-3 .. ~2.7e11 — wide enough for
+    /// millisecond latencies, queue depths, and event counts alike.
+    pub fn default_log_scale() -> Self {
+        Self::log_scale(1.0 / 1024.0, 2.0, 48)
+    }
+
+    /// Records one sample. Non-finite samples are ignored (they carry no
+    /// deterministic bucket), which keeps recording panic-free.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let slot = if value < self.edges[0] {
+            0
+        } else if value >= self.edges[self.edges.len() - 1] {
+            self.counts.len() - 1
+        } else {
+            // partition_point returns the first edge strictly above `value`,
+            // so the interior bucket index is that minus one; +1 skips the
+            // underflow slot.
+            self.edges.partition_point(|e| *e <= value)
+        };
+        self.counts[slot] += 1;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The bucket boundaries, ascending.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Underflow, interior, and overflow counts, in edge order.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (`0 <= q <= 1`), resolved to the
+    /// boundary of the bucket where the cumulative count crosses
+    /// `q * count`. Exact recorded extrema cap both ends, so the estimate
+    /// never leaves the observed range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (slot, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank.max(1) {
+                let bound = if slot == 0 {
+                    self.edges[0]
+                } else if slot >= self.edges.len() {
+                    self.max
+                } else {
+                    self.edges[slot]
+                };
+                return bound.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Whether two histograms share bucket edges (bitwise, so the check is
+    /// itself deterministic and float-equality-free).
+    pub fn compatible_with(&self, other: &Histogram) -> bool {
+        self.edges.len() == other.edges.len()
+            && self
+                .edges
+                .iter()
+                .zip(&other.edges)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Adds `other`'s samples into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving `self` untouched) when the bucket edges differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if !self.compatible_with(other) {
+            return Err(MergeError { key: String::new() });
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Keys are plain strings; `BTreeMap` storage makes every iteration (and
+/// therefore every rendered report) sorted and deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first touch).
+    pub fn counter_add(&mut self, key: &str, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(key) {
+            *slot += delta;
+        } else {
+            self.counters.insert(key.to_string(), delta);
+        }
+    }
+
+    /// Raises the named high-water gauge to `value` if it is a new maximum.
+    pub fn gauge_max(&mut self, key: &str, value: f64) {
+        if let Some(slot) = self.gauges.get_mut(key) {
+            *slot = slot.max(value);
+        } else {
+            self.gauges.insert(key.to_string(), value);
+        }
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// [`Histogram::default_log_scale`] on first touch. Use
+    /// [`MetricsRegistry::register_histogram`] first for custom edges.
+    pub fn histogram_record(&mut self, key: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default_log_scale();
+            h.record(value);
+            self.histograms.insert(key.to_string(), h);
+        }
+    }
+
+    /// Installs a histogram with custom edges under `key` (replacing any
+    /// existing one).
+    pub fn register_histogram(&mut self, key: &str, histogram: Histogram) {
+        self.histograms.insert(key.to_string(), histogram);
+    }
+
+    /// The named counter's value (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's high-water value, if recorded.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the max,
+    /// histograms merge bucket-wise.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first histogram key whose edges disagree (counters and
+    /// gauges merged before that key stay merged).
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), MergeError> {
+        for (key, delta) in &other.counters {
+            self.counter_add(key, *delta);
+        }
+        for (key, value) in &other.gauges {
+            self.gauge_max(key, *value);
+        }
+        for (key, histogram) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(key) {
+                mine.merge(histogram)
+                    .map_err(|_| MergeError { key: key.clone() })?;
+            } else {
+                self.histograms.insert(key.clone(), histogram.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical text report: one line per metric, sorted by key, each
+    /// prefixed with its kind. Floats print in shortest round-trip form, so
+    /// the report is byte-stable and diffable.
+    pub fn render_text(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (key, value) in &self.counters {
+            lines.push(format!("counter {key} {value}"));
+        }
+        for (key, value) in &self.gauges {
+            lines.push(format!("gauge {key} {value:?}"));
+        }
+        for (key, h) in &self.histograms {
+            lines.push(format!(
+                "histogram {key} count={} min={:?} max={:?} mean={:?} p50<={:?} p95<={:?} p99<={:?}",
+                h.count(),
+                if h.count() == 0 { 0.0 } else { h.min() },
+                if h.count() == 0 { 0.0 } else { h.max() },
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            ));
+        }
+        // One global sort across kinds: the report reads as a key-ordered
+        // table regardless of metric type.
+        lines.sort_by(|a, b| {
+            let key = |line: &str| line.split_whitespace().nth(1).unwrap_or("").to_string();
+            key(a).cmp(&key(b)).then_with(|| a.cmp(b))
+        });
+        let mut out = String::new();
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The JSON report, via the vendored serde stub: counters, gauges, and
+    /// histogram summaries under sorted keys. Non-empty bucket contents are
+    /// listed as `[lower_edge, count]` pairs so downstream tools can rebuild
+    /// the distribution.
+    pub fn render_json(&self) -> String {
+        let mut s = Serializer::new();
+        s.begin_struct();
+        s.field("counters", &SortedMap(&self.counters));
+        s.field("gauges", &SortedMap(&self.gauges));
+        let summaries: BTreeMap<String, HistogramSummary> = self
+            .histograms
+            .iter()
+            .map(|(key, h)| (key.clone(), HistogramSummary::of(h)))
+            .collect();
+        s.field("histograms", &SortedMap(&summaries));
+        s.end_struct();
+        s.into_string()
+    }
+}
+
+/// Serializes a `BTreeMap` as a JSON object with sorted keys (the stub has
+/// no native map support, so the adapter writes each entry as a field).
+struct SortedMap<'a, V>(&'a BTreeMap<String, V>);
+
+impl<V: Serialize> Serialize for SortedMap<'_, V> {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_struct();
+        for (key, value) in self.0 {
+            s.field(key, value);
+        }
+        s.end_struct();
+    }
+}
+
+/// The JSON shape of one histogram in [`MetricsRegistry::render_json`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct HistogramSummary {
+    count: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    /// `[lower_edge, count]` for every non-empty interior bucket
+    /// (underflow reports the first edge, overflow the last).
+    buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSummary {
+    fn of(h: &Histogram) -> Self {
+        let edges = h.edges();
+        let buckets = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(slot, &n)| {
+                let edge = if slot == 0 {
+                    edges[0]
+                } else {
+                    edges[(slot - 1).min(edges.len() - 1)]
+                };
+                (edge, n)
+            })
+            .collect();
+        Self {
+            count: h.count(),
+            min: if h.count() == 0 { 0.0 } else { h.min() },
+            max: if h.count() == 0 { 0.0 } else { h.max() },
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_scale_edges_grow_geometrically_and_bucket_half_open() {
+        let mut h = Histogram::log_scale(1.0, 2.0, 4);
+        assert_eq!(h.edges(), &[1.0, 2.0, 4.0, 8.0, 16.0]);
+        // Exactly on an edge lands in the bucket it opens (half-open ranges).
+        h.record(1.0); // bucket [1,2)
+        h.record(2.0); // bucket [2,4)
+        h.record(3.999); // bucket [2,4)
+        h.record(0.5); // underflow
+        h.record(16.0); // overflow (>= last edge)
+        h.record(1e9); // overflow
+        assert_eq!(h.bucket_counts(), &[1, 1, 2, 0, 0, 2]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = Histogram::log_scale(1.0, 2.0, 4);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(3.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_extrema() {
+        let mut h = Histogram::log_scale(1.0, 2.0, 8);
+        for _ in 0..90 {
+            h.record(1.5); // bucket [1,2)
+        }
+        for _ in 0..10 {
+            h.record(100.0); // bucket [64,128)
+        }
+        // p50 resolves to the [1,2) bucket's upper edge.
+        assert!((h.quantile(0.50) - 2.0).abs() < 1e-12);
+        // p99 reaches the tail bucket but never exceeds the observed max.
+        assert!((h.quantile(0.99) - 100.0).abs() < 1e-12);
+        assert!(h.quantile(0.0) >= h.min());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_rejects_mismatched_edges() {
+        let mut a = Histogram::log_scale(1.0, 2.0, 4);
+        let mut b = Histogram::log_scale(1.0, 2.0, 4);
+        a.record(1.5);
+        b.record(1.5);
+        b.record(5.0);
+        a.merge(&b).expect("identical edges merge");
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts()[1], 2);
+        let other = Histogram::log_scale(1.0, 4.0, 4);
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn registry_reports_are_sorted_and_deterministic() {
+        let mut r = MetricsRegistry::new();
+        // Insert deliberately out of key order.
+        r.counter_add("z.last", 3);
+        r.gauge_max("m.middle", 7.5);
+        r.counter_add("a.first", 1);
+        r.histogram_record("k.hist", 2.0);
+        r.counter_add("z.last", 2);
+        let text = r.render_text();
+        let keys: Vec<&str> = text
+            .lines()
+            .map(|l| l.split_whitespace().nth(1).unwrap())
+            .collect();
+        assert_eq!(keys, vec!["a.first", "k.hist", "m.middle", "z.last"]);
+        assert!(text.contains("counter z.last 5"));
+        assert_eq!(text, r.clone().render_text(), "render is pure");
+        assert_eq!(r.render_json(), r.render_json());
+    }
+
+    #[test]
+    fn registry_merge_folds_all_three_kinds() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        b.counter_add("c", 2);
+        a.gauge_max("g", 1.0);
+        b.gauge_max("g", 3.0);
+        a.histogram_record("h", 2.0);
+        b.histogram_record("h", 4.0);
+        b.histogram_record("only_b", 1.0);
+        a.merge(&b).expect("default-edged histograms merge");
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(3.0));
+        assert_eq!(a.histogram("h").map(Histogram::count), Some(2));
+        assert_eq!(a.histogram("only_b").map(Histogram::count), Some(1));
+        // Mismatched edges on a shared key refuse to merge and name the key.
+        let mut c = MetricsRegistry::new();
+        c.register_histogram("h", Histogram::log_scale(1.0, 3.0, 2));
+        let err = c.merge(&a).expect_err("edges differ");
+        assert_eq!(err.key, "h");
+    }
+
+    #[test]
+    fn json_report_lists_nonempty_buckets_with_lower_edges() {
+        let mut r = MetricsRegistry::new();
+        r.register_histogram("h", Histogram::log_scale(1.0, 2.0, 4));
+        r.histogram_record("h", 3.0);
+        r.histogram_record("h", 0.25); // underflow
+        let json = r.render_json();
+        assert!(json.starts_with("{\"counters\":{}"));
+        assert!(json.contains("\"h\":{\"count\":2"));
+        // Underflow reports the first edge, the [2,4) bucket its lower edge.
+        assert!(json.contains("[1.0,1]"), "{json}");
+        assert!(json.contains("[2.0,1]"), "{json}");
+    }
+}

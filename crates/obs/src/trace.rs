@@ -1,0 +1,168 @@
+//! Span records on a deterministic time axis and their Chrome trace-event
+//! JSON export.
+//!
+//! A [`SpanRecord`] carries *deterministic* timestamps: simulated seconds in
+//! the serving simulator, logical candidate counts in the DSE. The exporter
+//! scales that axis into the microsecond `ts`/`dur` fields of the Chrome
+//! trace-event format and emits the plain JSON array form, which both
+//! `chrome://tracing` and Perfetto load directly. Because every input is
+//! deterministic and floats print in shortest round-trip form, the exported
+//! file is byte-identical across runs — golden-pinnable like any other
+//! artifact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::TraceRecorder;
+
+/// One completed span on a deterministic time axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Track (rendered as a thread lane) the span belongs to — e.g. the
+    /// chip index in the simulator.
+    pub track: u32,
+    /// Span name (e.g. the model being served, or a DSE strategy label).
+    pub name: String,
+    /// Category, for trace-viewer filtering (e.g. `serve`, `dse.strategy`).
+    pub cat: String,
+    /// Start timestamp on the run's deterministic axis.
+    pub start_ts: f64,
+    /// End timestamp on the run's deterministic axis.
+    pub end_ts: f64,
+}
+
+/// One Chrome trace-event object. Field names and order follow the
+/// trace-event format: complete events (`ph == "X"`) with microsecond
+/// `ts`/`dur`, grouped by `pid`/`tid`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Comma-separated categories.
+    pub cat: String,
+    /// Phase; this exporter only emits complete events (`"X"`).
+    pub ph: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+    /// Process id (constant 0: one simulated process).
+    pub pid: u32,
+    /// Thread id (the span's track).
+    pub tid: u32,
+}
+
+/// A Chrome trace: an ordered list of trace events, exported as the JSON
+/// array form of the trace-event format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChromeTrace {
+    /// The events, in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ChromeTrace {
+    /// Converts spans into complete events, scaling their deterministic
+    /// timestamps by `ticks_to_us` (e.g. `1e6` when the axis is simulated
+    /// seconds, `1.0` for logical counters).
+    pub fn from_spans(spans: &[SpanRecord], ticks_to_us: f64) -> Self {
+        let events = spans
+            .iter()
+            .map(|span| TraceEvent {
+                name: span.name.clone(),
+                cat: span.cat.clone(),
+                ph: "X".to_string(),
+                ts: span.start_ts * ticks_to_us,
+                dur: (span.end_ts - span.start_ts) * ticks_to_us,
+                pid: 0,
+                tid: span.track,
+            })
+            .collect();
+        Self { events }
+    }
+
+    /// Convenience wrapper over [`ChromeTrace::from_spans`] for a recorder's
+    /// span buffer.
+    pub fn from_recorder(recorder: &TraceRecorder, ticks_to_us: f64) -> Self {
+        Self::from_spans(recorder.spans(), ticks_to_us)
+    }
+
+    /// Serializes to the JSON array form of the trace-event format (via the
+    /// vendored serde stub). Deterministic: same events, same bytes.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(&self.events)
+    }
+
+    /// Parses a trace previously produced by [`ChromeTrace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serde stub's parse error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        Ok(Self {
+            events: serde::json::from_str(text)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                track: 0,
+                name: "CNN-1".to_string(),
+                cat: "serve".to_string(),
+                start_ts: 0.001,
+                end_ts: 0.003,
+            },
+            SpanRecord {
+                track: 1,
+                name: "MLP-L".to_string(),
+                cat: "serve".to_string(),
+                start_ts: 0.002,
+                end_ts: 0.0045,
+            },
+        ]
+    }
+
+    #[test]
+    fn spans_become_complete_events_in_microseconds() {
+        let trace = ChromeTrace::from_spans(&spans(), 1e6);
+        assert_eq!(trace.events.len(), 2);
+        let first = &trace.events[0];
+        assert_eq!(first.ph, "X");
+        assert_eq!(first.pid, 0);
+        assert_eq!(first.tid, 0);
+        assert!((first.ts - 1000.0).abs() < 1e-9);
+        assert!((first.dur - 2000.0).abs() < 1e-9);
+        assert_eq!(trace.events[1].tid, 1);
+    }
+
+    #[test]
+    fn export_round_trips_through_the_serde_stub() {
+        let trace = ChromeTrace::from_spans(&spans(), 1e6);
+        let json = trace.to_json();
+        assert!(json.starts_with('['), "array form: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        let back = ChromeTrace::from_json(&json).expect("own output parses");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_runs() {
+        let a = ChromeTrace::from_spans(&spans(), 1e6).to_json();
+        let b = ChromeTrace::from_spans(&spans(), 1e6).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_empty_array() {
+        let trace = ChromeTrace::default();
+        assert_eq!(trace.to_json(), "[]");
+        assert_eq!(
+            ChromeTrace::from_json("[]").expect("empty array parses"),
+            trace
+        );
+    }
+}

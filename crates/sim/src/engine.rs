@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use timely_core::{Backend, EvalError, TimelyAccelerator, TimelyConfig};
 use timely_nn::Model;
+use timely_obs::{NoopRecorder, Recorder};
 
 /// The serving-relevant profile of one model on one chip, derived from the
 /// chip backend's [`ServicePhysics`](timely_core::ServicePhysics).
@@ -318,6 +319,24 @@ impl ServingSimulator {
     /// Panics if the traffic mix references a model index outside the fleet's
     /// model list, or if the arrival process parameters are invalid.
     pub fn run(&self, traffic: &TrafficSpec) -> SimReport {
+        self.run_recorded(traffic, &mut NoopRecorder)
+    }
+
+    /// [`ServingSimulator::run`] with deterministic telemetry: per-event-type
+    /// counters (`sim.event.*`), per-chip busy spans on simulated time (one
+    /// span per issued request, track = chip index), the fleet queue-depth
+    /// high-water gauge (`sim.queue.depth_peak`), and per-model latency
+    /// histograms in milliseconds (`sim.latency_ms.<model>`).
+    ///
+    /// The recorder never influences the run: `run_recorded` with any
+    /// recorder returns the same [`SimReport`] as [`ServingSimulator::run`],
+    /// and with a [`NoopRecorder`] the instrumented hot path monomorphizes
+    /// back to the uninstrumented code (no allocation, no dispatch).
+    ///
+    /// # Panics
+    ///
+    /// See [`ServingSimulator::run`].
+    pub fn run_recorded<R: Recorder>(&self, traffic: &TrafficSpec, recorder: &mut R) -> SimReport {
         traffic.process.validate();
         assert!(
             traffic.mix.max_model_index() < self.chip_profiles[0].len(),
@@ -325,14 +344,18 @@ impl ServingSimulator {
             traffic.mix.max_model_index(),
             self.chip_profiles[0].len()
         );
-        Run::new(self, traffic).execute()
+        Run::new(self, traffic, recorder).execute()
     }
 }
 
 /// The mutable state of one simulation run.
-struct Run<'a> {
+struct Run<'a, R: Recorder> {
     sim: &'a ServingSimulator,
     traffic: &'a TrafficSpec,
+    recorder: &'a mut R,
+    /// Per-model histogram keys, composed once per run (empty when the
+    /// recorder is disabled, so the hot path never formats strings).
+    latency_keys: Vec<String>,
     rng: StdRng,
     events: EventQueue<Event>,
     chips: Vec<ChipState>,
@@ -351,12 +374,22 @@ struct Run<'a> {
     max_queue_depth: u64,
 }
 
-impl<'a> Run<'a> {
-    fn new(sim: &'a ServingSimulator, traffic: &'a TrafficSpec) -> Self {
+impl<'a, R: Recorder> Run<'a, R> {
+    fn new(sim: &'a ServingSimulator, traffic: &'a TrafficSpec, recorder: &'a mut R) -> Self {
         let models = sim.chip_profiles[0].len();
+        let latency_keys = if recorder.enabled() {
+            sim.chip_profiles[0]
+                .iter()
+                .map(|p| format!("sim.latency_ms.{}", p.name))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             sim,
             traffic,
+            recorder,
+            latency_keys,
             rng: StdRng::seed_from_u64(sim.config.seed),
             events: EventQueue::new(),
             chips: vec![ChipState::default(); sim.config.chips],
@@ -382,6 +415,7 @@ impl<'a> Run<'a> {
                 break;
             }
             self.advance_clock(t);
+            self.recorder.counter_add(event_key(&event), 1);
             match event {
                 Event::Arrival(request) => self.on_arrival(request),
                 Event::BatchDeadline { chip, epoch } => self.on_batch_deadline(chip, epoch),
@@ -535,6 +569,16 @@ impl<'a> Run<'a> {
             state.energy_mj += profile.energy_mj;
             self.issued_per_model[request.model] += 1;
             self.energy_per_model_mj[request.model] += profile.energy_mj;
+            // One busy span per issued request: track = chip, simulated
+            // seconds from issue to pipeline exit.
+            self.recorder.counter_add("sim.issued", 1);
+            self.recorder.span(
+                chip as u32,
+                &profile.name,
+                "serve",
+                self.now_s,
+                self.now_s + profile.latency_s,
+            );
             self.events.push(
                 self.now_s + profile.latency_s,
                 Event::Completion { chip, request },
@@ -543,7 +587,12 @@ impl<'a> Run<'a> {
     }
 
     fn on_completion(&mut self, _chip: usize, request: Request) {
-        self.latencies_per_model[request.model].push(self.now_s - request.arrival_s);
+        let latency_s = self.now_s - request.arrival_s;
+        self.latencies_per_model[request.model].push(latency_s);
+        if self.recorder.enabled() {
+            self.recorder
+                .histogram_record(&self.latency_keys[request.model], latency_s * 1e3);
+        }
 
         // Closed loop: the client thinks, then issues its next request.
         if request.client != usize::MAX {
@@ -572,6 +621,8 @@ impl<'a> Run<'a> {
     fn note_queue_depth(&mut self) {
         let depth: usize = self.chips.iter().map(ChipState::queued).sum();
         self.max_queue_depth = self.max_queue_depth.max(depth as u64);
+        self.recorder
+            .gauge_max("sim.queue.depth_peak", depth as f64);
     }
 
     fn report(self) -> SimReport {
@@ -632,6 +683,17 @@ impl<'a> Run<'a> {
                 0.0
             },
         }
+    }
+}
+
+/// Stable telemetry key for one event type (the `sim.event.*` counters of
+/// [`ServingSimulator::run_recorded`]).
+fn event_key(event: &Event) -> &'static str {
+    match event {
+        Event::Arrival(_) => "sim.event.arrival",
+        Event::BatchDeadline { .. } => "sim.event.batch_deadline",
+        Event::ChipFree { .. } => "sim.event.chip_free",
+        Event::Completion { .. } => "sim.event.completion",
     }
 }
 
@@ -1009,6 +1071,68 @@ mod tests {
         assert!(
             (a.per_model[0].energy_mj_per_request - a.total_energy_mj / issued as f64).abs() < 1e-9
         );
+    }
+
+    #[test]
+    fn run_recorded_with_a_noop_recorder_matches_run_exactly() {
+        let profile = profile_cnn_1();
+        let rate = 0.6 * profile.capacity_rps();
+        let sim = small_fleet(2, Policy::ShortestQueue, 300.0 / rate);
+        let traffic = TrafficSpec::poisson(rate, 0);
+        let plain = sim.run(&traffic);
+        let recorded = sim.run_recorded(&traffic, &mut timely_obs::NoopRecorder);
+        assert_eq!(plain, recorded);
+    }
+
+    #[test]
+    fn recorded_telemetry_agrees_with_the_report() {
+        let profile = profile_cnn_1();
+        let rate = 0.7 * profile.capacity_rps();
+        let sim = small_fleet(2, Policy::ShortestQueue, 300.0 / rate);
+        let traffic = TrafficSpec::poisson(rate, 0);
+        let mut recorder = timely_obs::TraceRecorder::new();
+        let report = sim.run_recorded(&traffic, &mut recorder);
+        assert_eq!(report, sim.run(&traffic), "recording never perturbs a run");
+        let metrics = recorder.metrics();
+        // Counters tie out against the report's own accounting.
+        assert_eq!(metrics.counter("sim.event.arrival"), report.offered);
+        assert_eq!(metrics.counter("sim.event.completion"), report.completed);
+        let issued: u64 = report.chips.iter().map(|c| c.issued).sum();
+        assert_eq!(metrics.counter("sim.issued"), issued);
+        // The queue-depth high-water gauge is the report's max depth.
+        assert_eq!(
+            metrics.gauge("sim.queue.depth_peak"),
+            Some(report.max_queue_depth as f64)
+        );
+        // Per-model latency histograms hold one sample per completion.
+        let hist = metrics
+            .histogram("sim.latency_ms.CNN-1")
+            .expect("latency histogram recorded");
+        assert_eq!(hist.count(), report.completed);
+        assert!((hist.mean() - report.latency.mean_ms).abs() / report.latency.mean_ms < 1e-9);
+        // One busy span per issued request, on per-chip tracks.
+        assert_eq!(recorder.spans().len() as u64, issued);
+        assert!(recorder.spans().iter().all(|s| s.end_ts > s.start_ts));
+        assert!(recorder.spans().iter().any(|s| s.track == 1));
+    }
+
+    #[test]
+    fn trace_export_is_byte_identical_across_runs() {
+        let profile = profile_cnn_1();
+        let rate = 0.5 * profile.capacity_rps();
+        let sim = small_fleet(2, Policy::ShortestQueue, 200.0 / rate);
+        let traffic = TrafficSpec::poisson(rate, 0);
+        let export = || {
+            let mut recorder = timely_obs::TraceRecorder::new();
+            sim.run_recorded(&traffic, &mut recorder);
+            timely_obs::ChromeTrace::from_recorder(&recorder, 1e6).to_json()
+        };
+        let a = export();
+        let b = export();
+        assert_eq!(a, b);
+        assert!(a.starts_with('['));
+        let parsed = timely_obs::ChromeTrace::from_json(&a).expect("export parses back");
+        assert!(!parsed.events.is_empty());
     }
 
     #[test]

@@ -18,12 +18,17 @@ cargo test -q -p timely-sim
 cargo test -q -p timely-dse
 cargo test -q -p timely-baselines   # backend trait-conformance suite
 cargo test -q -p timely-lint        # lexer/rule units + fixtures + self-check
+cargo test -q -p timely-obs         # deterministic telemetry + trace export
 # Static analysis gate (lint.toml): determinism, panic-freedom, unit
 # discipline, float-eq. Runs before the golden-file studies so an invariant
 # slip fails fast with file:line [rule] output; use --fix-hints locally for
 # suggested rewrites.
 cargo run --release -p timely-lint -- --fix-hints
-cargo run --release -p timely-bench --bin serving_study -- --smoke > /dev/null
+# The serving study also exercises the observability exports: the bin
+# validates the Chrome trace by parsing it back through the vendored serde
+# stubs before writing it (byte-identical across runs; golden-pinned too).
+cargo run --release -p timely-bench --bin serving_study -- --smoke \
+    --trace target/trace_smoke.json --metrics target/metrics_smoke.txt > /dev/null
 cargo run --release -p timely-bench --bin dse_study -- --smoke > /dev/null
 cargo run --release -p timely-bench --bin backend_matrix > /dev/null
 # Soft perf gate: re-measure DSE/sim throughput and compare against the

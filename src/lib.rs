@@ -17,7 +17,10 @@
 //!   on the architecture model,
 //! * [`dse`] — a deterministic multi-objective design-space explorer
 //!   (declarative search spaces, grid/random/hill-climb strategies,
-//!   constraint pruning, memo-cached evaluation, Pareto frontiers).
+//!   constraint pruning, memo-cached evaluation, Pareto frontiers),
+//! * [`obs`] — observability: deterministic counters/gauges/histograms and
+//!   Chrome-trace span export keyed on simulated time, plus a strictly
+//!   separated opt-in wall-clock [`Profiler`](timely_obs::Profiler).
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub use timely_baselines as baselines;
 pub use timely_core as arch;
 pub use timely_dse as dse;
 pub use timely_nn as nn;
+pub use timely_obs as obs;
 pub use timely_sim as sim;
 
 /// Commonly used items, importable with `use timely::prelude::*`.
@@ -68,10 +72,13 @@ pub mod prelude {
         ServicePhysics, TimelyAccelerator, TimelyConfig,
     };
     pub use timely_dse::{
-        Constraints, DseReport, Evaluator, Explorer, ReferenceVerdict, SearchSpace, ServingCheck,
-        Strategy,
+        Constraints, DseReport, EvalStats, Evaluator, Explorer, ReferenceVerdict, ScreenStats,
+        SearchSpace, ServingCheck, Strategy,
     };
     pub use timely_nn::{Model, ModelBuilder};
+    pub use timely_obs::{
+        ChromeTrace, Histogram, MetricsRegistry, NoopRecorder, Profiler, Recorder, TraceRecorder,
+    };
     pub use timely_sim::{
         ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, SimReport,
         TrafficSpec,
