@@ -19,12 +19,15 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use timely_bench::perf::{gate_line, ArmStats, DseBench, GateVerdict, SimBench};
+use timely_bench::perf::{gate_line, ArmStats, DseBench, GateVerdict, SimBench, SimLargeArm};
 use timely_core::TimelyConfig;
 use timely_dse::{Constraints, Evaluator, Explorer, SearchSpace, Strategy};
 use timely_nn::zoo;
-use timely_obs::Profiler;
-use timely_sim::serving_check;
+use timely_obs::{Histogram, Profiler};
+use timely_sim::{
+    serving_check, ArrivalProcess, ModelMix, Policy, Scenario, ServingSimulator, Sharding,
+    SimConfig, StatsMode, TrafficSpec,
+};
 
 const SEED: u64 = 0xBE9C;
 
@@ -59,6 +62,15 @@ fn main() {
     println!(
         "sim [{mode}]: {} events over {} requests in {:.3}s ({:.0} events/s)",
         sim.events, sim.requests, sim.seconds, sim.events_per_sec,
+    );
+    println!(
+        "sim large [{mode}]: {} events over {} requests in {:.3}s ({:.0} events/s, \
+         streaming stats in {} resident slots)",
+        sim.large.events,
+        sim.large.requests,
+        sim.large.seconds,
+        sim.large.events_per_sec,
+        sim.large.stat_slots,
     );
 
     if bless {
@@ -117,10 +129,21 @@ fn run_gate(dse: &DseBench, sim: &SimBench) -> bool {
         dse.unscreened.points_per_sec,
         &dse.mode,
     );
+    let sim_baseline = read_baseline_sim();
     check(
         "sim events/sec",
-        read_baseline_sim().map(|b| (b.mode.clone(), b.events_per_sec)),
+        sim_baseline
+            .as_ref()
+            .map(|b| (b.mode.clone(), b.events_per_sec)),
         sim.events_per_sec,
+        &sim.mode,
+    );
+    check(
+        "sim large events/sec",
+        sim_baseline
+            .as_ref()
+            .map(|b| (b.mode.clone(), b.large.events_per_sec)),
+        sim.large.events_per_sec,
         &sim.mode,
     );
     if !pass {
@@ -210,5 +233,61 @@ fn measure_sim(smoke: bool) -> SimBench {
         events,
         seconds,
         events_per_sec: events as f64 / seconds,
+        large: measure_sim_large(smoke),
+    }
+}
+
+/// The planet-scale arm: an order of magnitude more requests than the exact
+/// arm, run with constant-memory streaming statistics on the calendar
+/// queue. At full scale this is a 10^7-request run whose latency state
+/// stays in a fixed set of histogram buckets and scalar accumulators.
+fn measure_sim_large(smoke: bool) -> SimLargeArm {
+    let requests = if smoke { 1_000_000.0 } else { 10_000_000.0 };
+    let models = [zoo::cnn_1(), zoo::mlp_l()];
+    let config = TimelyConfig::paper_default();
+    let chips = 2;
+    let sim = ServingSimulator::new(
+        &models,
+        &config,
+        SimConfig {
+            seed: SEED,
+            duration_s: 1.0, // placeholder; replaced once capacity is known
+            chips,
+            policy: Policy::ShortestQueue,
+            sharding: Sharding::Replicate,
+        },
+    )
+    .expect("paper default serves the perf workload");
+    let capacity = (0..models.len())
+        .map(|m| sim.fleet_capacity_rps(m))
+        .fold(f64::INFINITY, f64::min);
+    let rate = 0.7 * capacity;
+    let mut sim = sim;
+    sim.set_duration(requests / rate);
+    let spec = TrafficSpec {
+        process: ArrivalProcess::Poisson { rate },
+        mix: ModelMix::uniform(models.len()),
+    };
+    let scenario = Scenario {
+        stats: StatsMode::Streaming,
+        ..Scenario::default()
+    };
+    // lint:allow(wall-clock) — same wall-time measurement, large arm.
+    let start = Instant::now();
+    let report = sim
+        .run_scenario(&spec, &scenario)
+        .expect("streaming scenario is well-formed");
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let issued: u64 = report.chips.iter().map(|c| c.issued).sum();
+    let events = report.offered + issued + report.completed;
+    // Per model: one default-scale latency histogram plus four scalar
+    // accumulators (count/sum/max/mean) — the whole resident latency state.
+    let buckets = Histogram::default_log_scale().bucket_counts().len() as u64;
+    SimLargeArm {
+        requests: report.offered,
+        events,
+        seconds,
+        events_per_sec: events as f64 / seconds,
+        stat_slots: models.len() as u64 * (buckets + 4),
     }
 }

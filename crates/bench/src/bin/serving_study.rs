@@ -12,7 +12,10 @@
 //!   [`ServingStudyArtifact`] instead of the tables;
 //! * `--trace <path>` writes a Chrome trace-event JSON of one canonical
 //!   traced serving run (open in `chrome://tracing` or Perfetto);
-//! * `--metrics <path>` writes the same run's metrics report as sorted text.
+//! * `--metrics <path>` writes the same run's metrics report as sorted text;
+//! * `--scenarios` prints the failure/straggler/load-shedding scenario
+//!   tables (and nothing else): fault injection, admission-control
+//!   shedding, and the exact-vs-streaming statistics cross-check.
 
 use timely_baselines::IsaacModel;
 use timely_bench::artifacts::{ServingStudyArtifact, ServingSweepRecord};
@@ -21,7 +24,8 @@ use timely_core::{Backend, TimelyAccelerator, TimelyConfig};
 use timely_nn::zoo;
 use timely_obs::{ChromeTrace, TraceRecorder};
 use timely_sim::{
-    ArrivalProcess, ModelMix, Policy, ServingSimulator, Sharding, SimConfig, TrafficSpec,
+    ArrivalProcess, Fault, ModelMix, Policy, Scenario, ServingSimulator, Sharding, SimConfig,
+    StatsMode, TrafficSpec,
 };
 
 const SEED: u64 = 0x5E21;
@@ -36,12 +40,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let json = args.iter().any(|a| a == "--json");
+    let scenarios = args.iter().any(|a| a == "--scenarios");
     let trace_path = flag_value(&args, "--trace");
     let metrics_path = flag_value(&args, "--metrics");
     let requests_per_point = if smoke { 200.0 } else { 2_000.0 };
 
     let models = zoo::serving_benchmarks();
     let chip_config = TimelyConfig::paper_default();
+    if scenarios {
+        scenario_study(&models, &chip_config, requests_per_point);
+        return;
+    }
     let chip_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4] };
     let loads: &[f64] = if smoke {
         &[0.5, 1.2]
@@ -392,6 +401,142 @@ fn mixed_zoo_study(models: &[timely_nn::Model], config: &TimelyConfig, requests:
                 format_percent(report.mean_utilization()),
             ]);
         }
+    }
+    table.print();
+}
+
+/// Failure/straggler/load-shedding study: the whole serving zoo on two
+/// chips under join-the-shortest-queue at 90 % load, re-run under injected
+/// fault windows and an admission cap. Every arm is seeded and the fault
+/// schedule is fixed at fractions of the horizon, so the tables are
+/// deterministic. A second table cross-checks the constant-memory
+/// streaming statistics mode against the exact accumulator on the
+/// baseline arm.
+fn scenario_study(models: &[timely_nn::Model], config: &TimelyConfig, requests: f64) {
+    let profiles: Vec<timely_sim::ModelProfile> = models
+        .iter()
+        .map(|m| {
+            timely_sim::ModelProfile::for_model(m, config).expect("serving models fit on one chip")
+        })
+        .collect();
+    let chips = 2;
+    let rate = 0.9
+        * profiles
+            .iter()
+            .map(timely_sim::ModelProfile::capacity_rps)
+            .fold(f64::INFINITY, f64::min)
+        * chips as f64;
+    let max_latency = profiles.iter().map(|p| p.latency_s).fold(0.0, f64::max);
+    let duration_s = (requests / rate).max(50.0 * max_latency);
+    let sim = ServingSimulator::new(
+        models,
+        config,
+        SimConfig {
+            seed: SEED,
+            duration_s,
+            chips,
+            policy: Policy::ShortestQueue,
+            sharding: Sharding::Replicate,
+        },
+    )
+    .expect("serving models fit on one chip");
+    let spec = TrafficSpec {
+        process: ArrivalProcess::Poisson { rate },
+        mix: ModelMix::uniform(models.len()),
+    };
+    // Chip 0 goes dark for the middle third; chip 1 runs at quarter speed
+    // for the middle half.
+    let outage = Fault::outage(0, duration_s / 3.0, duration_s / 3.0);
+    let straggler = Fault::straggler(1, duration_s / 4.0, duration_s / 2.0, 4.0);
+    let cap = Some(8);
+    let arms: Vec<(&str, Scenario)> = vec![
+        ("baseline", Scenario::default()),
+        (
+            "outage",
+            Scenario {
+                faults: vec![outage],
+                ..Scenario::default()
+            },
+        ),
+        (
+            "straggler 4x",
+            Scenario {
+                faults: vec![straggler],
+                ..Scenario::default()
+            },
+        ),
+        (
+            "cap 8",
+            Scenario {
+                admission_cap: cap,
+                ..Scenario::default()
+            },
+        ),
+        (
+            "outage + cap 8",
+            Scenario {
+                faults: vec![outage],
+                admission_cap: cap,
+                ..Scenario::default()
+            },
+        ),
+    ];
+    let mut table = Table::new(
+        format!(
+            "Serving study - failure/straggler/shedding scenarios \
+             (whole zoo, 2 chips, shortest-queue, 90% load, seed {SEED:#x})"
+        ),
+        &[
+            "scenario", "offered", "done", "shed", "faults", "recov", "p50 ms", "p99 ms", "util",
+        ],
+    );
+    for (label, scenario) in &arms {
+        let report = sim
+            .run_scenario(&spec, scenario)
+            .expect("scenario arms are well-formed");
+        table.row(&[
+            (*label).to_string(),
+            report.offered.to_string(),
+            report.completed.to_string(),
+            report.shed.to_string(),
+            (report.outages + report.stragglers).to_string(),
+            report.recoveries.to_string(),
+            format!("{:.3}", report.latency.p50_ms),
+            format!("{:.3}", report.latency.p99_ms),
+            format_percent(report.mean_utilization()),
+        ]);
+    }
+    table.print();
+
+    // --- Exact vs streaming statistics on the baseline arm -------------------
+    let exact = sim
+        .run_scenario(&spec, &Scenario::default())
+        .expect("baseline arm");
+    let streaming = sim
+        .run_scenario(
+            &spec,
+            &Scenario {
+                stats: StatsMode::Streaming,
+                ..Scenario::default()
+            },
+        )
+        .expect("streaming arm");
+    let mut table = Table::new(
+        "Serving study - exact vs constant-memory streaming statistics (baseline arm)",
+        &[
+            "stats", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms",
+        ],
+    );
+    for (label, latency) in [("exact", exact.latency), ("streaming", streaming.latency)] {
+        table.row(&[
+            label.to_string(),
+            latency.count.to_string(),
+            format!("{:.3}", latency.mean_ms),
+            format!("{:.3}", latency.p50_ms),
+            format!("{:.3}", latency.p95_ms),
+            format!("{:.3}", latency.p99_ms),
+            format!("{:.3}", latency.max_ms),
+        ]);
     }
     table.print();
 }

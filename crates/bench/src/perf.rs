@@ -41,6 +41,26 @@ pub struct DseBench {
     pub screened_speedup: f64,
 }
 
+/// The large-scale arm of the sim benchmark: an order of magnitude more
+/// requests than the exact arm, run in constant-memory streaming-statistics
+/// mode on the calendar queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimLargeArm {
+    /// Requests offered in the large run.
+    pub requests: u64,
+    /// Simulator events processed (arrivals + issues + completions).
+    pub events: u64,
+    /// Wall-clock duration, in seconds.
+    pub seconds: f64,
+    /// Event throughput: `events / seconds`.
+    pub events_per_sec: f64,
+    /// Resident latency-statistic slots: models × (histogram buckets +
+    /// scalar accumulators). Constant in the request count — the
+    /// peak-memory proxy that distinguishes streaming mode from the exact
+    /// accumulator's one-slot-per-request growth.
+    pub stat_slots: u64,
+}
+
 /// The simulator half of the perf record (`BENCH_sim.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimBench {
@@ -54,6 +74,8 @@ pub struct SimBench {
     pub seconds: f64,
     /// Event throughput: `events / seconds`.
     pub events_per_sec: f64,
+    /// The streaming-statistics large arm.
+    pub large: SimLargeArm,
 }
 
 /// A soft-gate verdict for one throughput metric.
@@ -169,6 +191,13 @@ mod tests {
             events: 1800,
             seconds: 0.05,
             events_per_sec: 36_000.0,
+            large: SimLargeArm {
+                requests: 6000,
+                events: 18_000,
+                seconds: 0.25,
+                events_per_sec: 72_000.0,
+                stat_slots: 104,
+            },
         };
         let text = serde::json::to_string(&sim);
         let back: SimBench = serde::json::from_str(&text).expect("SimBench round-trips");

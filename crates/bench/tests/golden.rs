@@ -115,6 +115,26 @@ fn golden_serving_study_smoke() {
 }
 
 #[test]
+fn golden_serving_scenarios_smoke() {
+    if capped() {
+        eprintln!("GOLDEN_RUNS=0: skipping serving_study --scenarios determinism + golden check");
+        return;
+    }
+    // Fault injection, shedding, and the streaming-statistics cross-check
+    // must be as deterministic as the plain tables: two runs byte-identical,
+    // both matching the pinned snapshot.
+    let exe = env!("CARGO_BIN_EXE_serving_study");
+    let first = run(exe, &["--smoke", "--scenarios"]);
+    let second = run(exe, &["--smoke", "--scenarios"]);
+    assert!(
+        first == second,
+        "serving_study --scenarios is not deterministic; {}",
+        first_diff(&first, &second)
+    );
+    check_golden_output("serving_scenarios_smoke.txt", &first);
+}
+
+#[test]
 fn serving_study_json_artifact_parses_back() {
     if capped() {
         eprintln!("GOLDEN_RUNS=0: skipping serving_study --json check");

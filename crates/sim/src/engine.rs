@@ -17,7 +17,9 @@
 //! [`ServicePhysics`]: timely_core::ServicePhysics
 //! [`EnergyByCategory`]: timely_core::EnergyByCategory
 
+use crate::error::SimError;
 use crate::event::EventQueue;
+use crate::faults::{FaultKind, Scenario, StatsMode};
 use crate::scheduler::{FleetLayout, Policy, Router, Sharding};
 use crate::stats::{ChipStats, LatencyStats, ModelStats, SimReport};
 use crate::traffic::{ArrivalProcess, ModelMix, OpenLoopSource, TrafficSpec};
@@ -28,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use timely_core::{Backend, EvalError, TimelyAccelerator, TimelyConfig};
 use timely_nn::Model;
-use timely_obs::{NoopRecorder, Recorder};
+use timely_obs::{Histogram, NoopRecorder, Recorder};
 
 /// The serving-relevant profile of one model on one chip, derived from the
 /// chip backend's [`ServicePhysics`](timely_core::ServicePhysics).
@@ -139,10 +141,15 @@ enum Event {
     ChipFree { chip: usize },
     /// A request leaves a chip's pipeline.
     Completion { chip: usize, request: Request },
+    /// A scenario fault window begins; `fault` indexes
+    /// [`Scenario::faults`].
+    FaultStart { fault: usize },
+    /// A scenario fault window ends and the chip recovers.
+    FaultEnd { fault: usize },
 }
 
 /// Per-chip mutable simulation state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct ChipState {
     /// Requests ready to issue, in dispatch order.
     run_queue: VecDeque<Request>,
@@ -158,6 +165,27 @@ struct ChipState {
     busy_s: f64,
     issued: u64,
     energy_mj: f64,
+    /// The chip is in an outage window: it issues nothing until recovery.
+    down: bool,
+    /// Multiplier on service times (1.0 outside straggler windows).
+    slowdown_factor: f64,
+}
+
+impl Default for ChipState {
+    fn default() -> Self {
+        Self {
+            run_queue: VecDeque::new(),
+            batch: Vec::new(),
+            batch_epoch: 0,
+            next_free_s: 0.0,
+            wake_pending: false,
+            busy_s: 0.0,
+            issued: 0,
+            energy_mj: 0.0,
+            down: false,
+            slowdown_factor: 1.0,
+        }
+    }
 }
 
 impl ChipState {
@@ -337,21 +365,123 @@ impl ServingSimulator {
     ///
     /// See [`ServingSimulator::run`].
     pub fn run_recorded<R: Recorder>(&self, traffic: &TrafficSpec, recorder: &mut R) -> SimReport {
-        traffic.process.validate();
-        assert!(
-            traffic.mix.max_model_index() < self.chip_profiles[0].len(),
-            "traffic mix references model {} but the fleet only has {}",
-            traffic.mix.max_model_index(),
-            self.chip_profiles[0].len()
-        );
-        Run::new(self, traffic, recorder).execute()
+        match self.run_scenario_recorded(traffic, &Scenario::default(), recorder) {
+            Ok(report) => report,
+            Err(err) => panic!("{err}"),
+        }
     }
+
+    /// Runs the simulation under a [`Scenario`]: fault injection (outages
+    /// and stragglers), queue-depth admission control, a streaming or exact
+    /// statistics accumulator, and the event-queue backing.
+    ///
+    /// `run_scenario` with `Scenario::default()` is exactly
+    /// [`ServingSimulator::run`]. Scenario runs are as deterministic as
+    /// plain runs: faults travel through the same event queue as arrivals,
+    /// so two runs with the same seed and scenario are bit-identical.
+    ///
+    /// A shed arrival is dropped before dispatch: it counts in
+    /// [`SimReport::shed`] (never in backlog), and a closed-loop client
+    /// whose request is shed retires for the rest of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the traffic, mix, or scenario is malformed
+    /// (this is the panic-free form of the checks [`ServingSimulator::run`]
+    /// documents as panics).
+    pub fn run_scenario(
+        &self,
+        traffic: &TrafficSpec,
+        scenario: &Scenario,
+    ) -> Result<SimReport, SimError> {
+        self.run_scenario_recorded(traffic, scenario, &mut NoopRecorder)
+    }
+
+    /// [`ServingSimulator::run_scenario`] with deterministic telemetry: the
+    /// [`ServingSimulator::run_recorded`] streams plus `sim.failures.*`
+    /// counters (`outage`/`straggler`/`recovered`), the `sim.shed` counter,
+    /// and one span per fault window (track = chip index, category
+    /// `"fault"`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServingSimulator::run_scenario`].
+    pub fn run_scenario_recorded<R: Recorder>(
+        &self,
+        traffic: &TrafficSpec,
+        scenario: &Scenario,
+        recorder: &mut R,
+    ) -> Result<SimReport, SimError> {
+        traffic.process.check()?;
+        let models = self.chip_profiles[0].len();
+        if traffic.mix.max_model_index() >= models {
+            return Err(SimError::InvalidTraffic(format!(
+                "traffic mix references model {} but the fleet only has {models}",
+                traffic.mix.max_model_index(),
+            )));
+        }
+        scenario.check(self.chip_profiles.len())?;
+        Ok(Run::new(self, traffic, scenario, recorder).execute())
+    }
+}
+
+/// Per-model constant-memory latency accumulator: a log-bucketed histogram
+/// (in milliseconds, the default telemetry scale) for quantile upper bounds
+/// plus exact running count/sum/max.
+#[derive(Debug, Clone)]
+struct StreamingLatency {
+    histogram_ms: Histogram,
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+impl StreamingLatency {
+    fn new() -> Self {
+        Self {
+            histogram_ms: Histogram::default_log_scale(),
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+
+    fn record(&mut self, latency_s: f64) {
+        self.histogram_ms.record(latency_s * 1e3);
+        self.count += 1;
+        self.sum_s += latency_s;
+        self.max_s = self.max_s.max(latency_s);
+    }
+
+    fn stats(&self) -> LatencyStats {
+        if self.count == 0 {
+            return LatencyStats::empty();
+        }
+        LatencyStats {
+            count: self.count,
+            mean_ms: self.sum_s / self.count as f64 * 1e3,
+            p50_ms: self.histogram_ms.quantile(0.50),
+            p95_ms: self.histogram_ms.quantile(0.95),
+            p99_ms: self.histogram_ms.quantile(0.99),
+            max_ms: self.max_s * 1e3,
+        }
+    }
+}
+
+/// The run's latency store, chosen by [`StatsMode`]: every sample (exact
+/// percentiles, memory linear in completions) or constant-memory streaming
+/// summaries.
+#[derive(Debug, Clone)]
+enum LatencyAccum {
+    Exact(Vec<Vec<f64>>),
+    Streaming(Vec<StreamingLatency>),
 }
 
 /// The mutable state of one simulation run.
 struct Run<'a, R: Recorder> {
     sim: &'a ServingSimulator,
     traffic: &'a TrafficSpec,
+    scenario: &'a Scenario,
     recorder: &'a mut R,
     /// Per-model histogram keys, composed once per run (empty when the
     /// recorder is disabled, so the hot path never formats strings).
@@ -366,16 +496,25 @@ struct Run<'a, R: Recorder> {
     // Measurement accumulators.
     offered: u64,
     offered_per_model: Vec<u64>,
-    latencies_per_model: Vec<Vec<f64>>,
+    latencies: LatencyAccum,
     issued_per_model: Vec<u64>,
     energy_per_model_mj: Vec<f64>,
     queue_area: f64,
     last_event_s: f64,
     max_queue_depth: u64,
+    shed: u64,
+    outages: u64,
+    stragglers: u64,
+    recoveries: u64,
 }
 
 impl<'a, R: Recorder> Run<'a, R> {
-    fn new(sim: &'a ServingSimulator, traffic: &'a TrafficSpec, recorder: &'a mut R) -> Self {
+    fn new(
+        sim: &'a ServingSimulator,
+        traffic: &'a TrafficSpec,
+        scenario: &'a Scenario,
+        recorder: &'a mut R,
+    ) -> Self {
         let models = sim.chip_profiles[0].len();
         let latency_keys = if recorder.enabled() {
             sim.chip_profiles[0]
@@ -385,13 +524,18 @@ impl<'a, R: Recorder> Run<'a, R> {
         } else {
             Vec::new()
         };
+        let latencies = match scenario.stats {
+            StatsMode::Exact => LatencyAccum::Exact(vec![Vec::new(); models]),
+            StatsMode::Streaming => LatencyAccum::Streaming(vec![StreamingLatency::new(); models]),
+        };
         Self {
             sim,
             traffic,
+            scenario,
             recorder,
             latency_keys,
             rng: StdRng::seed_from_u64(sim.config.seed),
-            events: EventQueue::new(),
+            events: EventQueue::with_kind(scenario.queue),
             chips: vec![ChipState::default(); sim.config.chips],
             router: Router::new(models),
             open_source: OpenLoopSource::new(traffic.process),
@@ -399,17 +543,22 @@ impl<'a, R: Recorder> Run<'a, R> {
             now_s: 0.0,
             offered: 0,
             offered_per_model: vec![0; models],
-            latencies_per_model: vec![Vec::new(); models],
+            latencies,
             issued_per_model: vec![0; models],
             energy_per_model_mj: vec![0.0; models],
             queue_area: 0.0,
             last_event_s: 0.0,
             max_queue_depth: 0,
+            shed: 0,
+            outages: 0,
+            stragglers: 0,
+            recoveries: 0,
         }
     }
 
     fn execute(mut self) -> SimReport {
         self.seed_arrivals();
+        self.seed_faults();
         while let Some((t, event)) = self.events.pop() {
             if t > self.horizon_s {
                 break;
@@ -424,9 +573,17 @@ impl<'a, R: Recorder> Run<'a, R> {
                     self.try_issue(chip);
                 }
                 Event::Completion { chip, request } => self.on_completion(chip, request),
+                Event::FaultStart { fault } => self.on_fault_start(fault),
+                Event::FaultEnd { fault } => self.on_fault_end(fault),
             }
         }
         self.advance_clock(self.horizon_s);
+        // A nonzero count here means some handler computed a NaN/negative
+        // timestamp — surfaced as telemetry instead of a mid-run panic.
+        let invalid = self.events.invalid_pushes();
+        if invalid > 0 {
+            self.recorder.counter_add("sim.event.invalid_time", invalid);
+        }
         self.report()
     }
 
@@ -463,6 +620,56 @@ impl<'a, R: Recorder> Run<'a, R> {
                 }
             }
         }
+    }
+
+    /// Schedules every scenario fault's start/end pair. Seeded after the
+    /// first arrivals so a fault-free scenario consumes the exact event
+    /// sequence (and therefore pop order) of a plain run.
+    fn seed_faults(&mut self) {
+        for (index, fault) in self.scenario.faults.iter().enumerate() {
+            self.events
+                .push(fault.start_s, Event::FaultStart { fault: index });
+            self.events.push(
+                fault.start_s + fault.duration_s,
+                Event::FaultEnd { fault: index },
+            );
+        }
+    }
+
+    fn on_fault_start(&mut self, index: usize) {
+        let fault = self.scenario.faults[index];
+        match fault.kind {
+            FaultKind::Outage => {
+                self.chips[fault.chip].down = true;
+                self.outages += 1;
+                self.recorder.counter_add("sim.failures.outage", 1);
+            }
+            FaultKind::Straggler { slowdown_factor } => {
+                self.chips[fault.chip].slowdown_factor = slowdown_factor;
+                self.stragglers += 1;
+                self.recorder.counter_add("sim.failures.straggler", 1);
+            }
+        }
+        // One span per fault window, full extent, on the chip's track.
+        self.recorder.span(
+            fault.chip as u32,
+            fault.kind.label(),
+            "fault",
+            fault.start_s,
+            fault.start_s + fault.duration_s,
+        );
+    }
+
+    fn on_fault_end(&mut self, index: usize) {
+        let fault = self.scenario.faults[index];
+        match fault.kind {
+            FaultKind::Outage => self.chips[fault.chip].down = false,
+            FaultKind::Straggler { .. } => self.chips[fault.chip].slowdown_factor = 1.0,
+        }
+        self.recoveries += 1;
+        self.recorder.counter_add("sim.failures.recovered", 1);
+        // Work piled up during the window; start draining it now.
+        self.try_issue(fault.chip);
     }
 
     /// Integrates the queue-depth curve up to `t` and moves the clock.
@@ -505,6 +712,17 @@ impl<'a, R: Recorder> Run<'a, R> {
             self.sim.config.policy,
             |c| chips[c].queued() + usize::from(chips[c].next_free_s > now),
         );
+        // SLO-aware load shedding: once the chosen chip's queue hits the
+        // admission cap the request is dropped at the door. Shedding happens
+        // after routing and after the successor arrival is scheduled, so it
+        // never perturbs RNG consumption or routing state.
+        if let Some(cap) = self.scenario.admission_cap {
+            if self.chips[chip].queued() >= cap {
+                self.shed += 1;
+                self.recorder.counter_add("sim.shed", 1);
+                return;
+            }
+        }
         match self.sim.config.policy {
             Policy::Fifo | Policy::ShortestQueue => {
                 self.chips[chip].run_queue.push_back(request);
@@ -550,7 +768,9 @@ impl<'a, R: Recorder> Run<'a, R> {
     fn try_issue(&mut self, chip: usize) {
         loop {
             let state = &mut self.chips[chip];
-            if state.run_queue.is_empty() {
+            // A downed chip holds its queue in place until recovery
+            // (on_fault_end re-enters here).
+            if state.down || state.run_queue.is_empty() {
                 return;
             }
             if state.next_free_s > self.now_s {
@@ -561,10 +781,16 @@ impl<'a, R: Recorder> Run<'a, R> {
                 }
                 return;
             }
+            // Inside a straggler window every service time stretches by the
+            // slowdown factor (exactly 1.0 otherwise, so the multiplication
+            // is bit-transparent in a fault-free run).
+            let slowdown = state.slowdown_factor;
             let request = state.run_queue.pop_front().expect("queue is non-empty");
             let profile = &self.sim.chip_profiles[chip][request.model];
-            state.next_free_s = self.now_s + profile.initiation_interval_s;
-            state.busy_s += profile.initiation_interval_s;
+            let interval_s = profile.initiation_interval_s * slowdown;
+            let latency_s = profile.latency_s * slowdown;
+            state.next_free_s = self.now_s + interval_s;
+            state.busy_s += interval_s;
             state.issued += 1;
             state.energy_mj += profile.energy_mj;
             self.issued_per_model[request.model] += 1;
@@ -577,18 +803,19 @@ impl<'a, R: Recorder> Run<'a, R> {
                 &profile.name,
                 "serve",
                 self.now_s,
-                self.now_s + profile.latency_s,
+                self.now_s + latency_s,
             );
-            self.events.push(
-                self.now_s + profile.latency_s,
-                Event::Completion { chip, request },
-            );
+            self.events
+                .push(self.now_s + latency_s, Event::Completion { chip, request });
         }
     }
 
     fn on_completion(&mut self, _chip: usize, request: Request) {
         let latency_s = self.now_s - request.arrival_s;
-        self.latencies_per_model[request.model].push(latency_s);
+        match &mut self.latencies {
+            LatencyAccum::Exact(per_model) => per_model[request.model].push(latency_s),
+            LatencyAccum::Streaming(per_model) => per_model[request.model].record(latency_s),
+        }
         if self.recorder.enabled() {
             self.recorder
                 .histogram_record(&self.latency_keys[request.model], latency_s * 1e3);
@@ -625,35 +852,74 @@ impl<'a, R: Recorder> Run<'a, R> {
             .gauge_max("sim.queue.depth_peak", depth as f64);
     }
 
+    /// Per-model energy divided by requests actually issued: in a
+    /// heterogeneous fleet per-request energy depends on the serving chip
+    /// (equal to the single profile value in a homogeneous fleet, and
+    /// consistent with the fleet-level energy_mj_per_request).
+    fn model_energy_mj_per_request(&self, m: usize) -> f64 {
+        if self.issued_per_model[m] > 0 {
+            self.energy_per_model_mj[m] / self.issued_per_model[m] as f64
+        } else {
+            0.0
+        }
+    }
+
     fn report(self) -> SimReport {
         let horizon = self.horizon_s;
-        let mut all_latencies: Vec<f64> = Vec::new();
-        let per_model: Vec<ModelStats> = self.sim.chip_profiles[0]
-            .iter()
-            .enumerate()
-            .map(|(m, profile)| {
-                let samples = &self.latencies_per_model[m];
-                all_latencies.extend_from_slice(samples);
-                // In a heterogeneous fleet per-request energy depends on the
-                // serving chip, so divide the energy actually spent on this
-                // model by the requests actually issued (equal to the single
-                // profile value in a homogeneous fleet, and consistent with
-                // the fleet-level energy_mj_per_request).
-                let energy_mj_per_request = if self.issued_per_model[m] > 0 {
-                    self.energy_per_model_mj[m] / self.issued_per_model[m] as f64
-                } else {
-                    0.0
-                };
-                ModelStats {
-                    name: profile.name.clone(),
-                    offered: self.offered_per_model[m],
-                    completed: samples.len() as u64,
-                    latency: LatencyStats::from_samples_s(samples),
-                    energy_mj_per_request,
-                }
-            })
-            .collect();
-        let completed = all_latencies.len() as u64;
+        // The exact arm reproduces the pre-streaming reports bit-for-bit:
+        // same sample concatenation order, same sorted-percentile math.
+        let (per_model, latency, completed) = match &self.latencies {
+            LatencyAccum::Exact(latencies_per_model) => {
+                let mut all_latencies: Vec<f64> = Vec::new();
+                let per_model: Vec<ModelStats> = self.sim.chip_profiles[0]
+                    .iter()
+                    .enumerate()
+                    .map(|(m, profile)| {
+                        let samples = &latencies_per_model[m];
+                        all_latencies.extend_from_slice(samples);
+                        ModelStats {
+                            name: profile.name.clone(),
+                            offered: self.offered_per_model[m],
+                            completed: samples.len() as u64,
+                            latency: LatencyStats::from_samples_s(samples),
+                            energy_mj_per_request: self.model_energy_mj_per_request(m),
+                        }
+                    })
+                    .collect();
+                let completed = all_latencies.len() as u64;
+                (
+                    per_model,
+                    LatencyStats::from_samples_s(&all_latencies),
+                    completed,
+                )
+            }
+            LatencyAccum::Streaming(streams) => {
+                let mut merged = StreamingLatency::new();
+                let per_model: Vec<ModelStats> = self.sim.chip_profiles[0]
+                    .iter()
+                    .enumerate()
+                    .map(|(m, profile)| {
+                        let stream = &streams[m];
+                        merged
+                            .histogram_ms
+                            .merge(&stream.histogram_ms)
+                            .expect("default-scale histograms share edges");
+                        merged.count += stream.count;
+                        merged.sum_s += stream.sum_s;
+                        merged.max_s = merged.max_s.max(stream.max_s);
+                        ModelStats {
+                            name: profile.name.clone(),
+                            offered: self.offered_per_model[m],
+                            completed: stream.count,
+                            latency: stream.stats(),
+                            energy_mj_per_request: self.model_energy_mj_per_request(m),
+                        }
+                    })
+                    .collect();
+                let completed = merged.count;
+                (per_model, merged.stats(), completed)
+            }
+        };
         let chips: Vec<ChipStats> = self
             .chips
             .iter()
@@ -664,18 +930,22 @@ impl<'a, R: Recorder> Run<'a, R> {
             })
             .collect();
         let total_energy_mj: f64 = chips.iter().map(|c| c.energy_mj).sum();
-        let backlog = self.offered - completed;
+        let backlog = self.offered - completed - self.shed;
         SimReport {
             duration_s: horizon,
             offered: self.offered,
             completed,
             backlog,
+            shed: self.shed,
             throughput_rps: completed as f64 / horizon,
-            latency: LatencyStats::from_samples_s(&all_latencies),
+            latency,
             per_model,
             chips,
             mean_queue_depth: self.queue_area / horizon,
             max_queue_depth: self.max_queue_depth,
+            outages: self.outages,
+            stragglers: self.stragglers,
+            recoveries: self.recoveries,
             total_energy_mj,
             energy_mj_per_request: if completed > 0 {
                 total_energy_mj / completed as f64
@@ -694,6 +964,8 @@ fn event_key(event: &Event) -> &'static str {
         Event::BatchDeadline { .. } => "sim.event.batch_deadline",
         Event::ChipFree { .. } => "sim.event.chip_free",
         Event::Completion { .. } => "sim.event.completion",
+        Event::FaultStart { .. } => "sim.event.fault_start",
+        Event::FaultEnd { .. } => "sim.event.fault_end",
     }
 }
 

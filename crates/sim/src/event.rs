@@ -4,11 +4,34 @@
 //! Determinism is load-bearing for the whole crate: two runs with the same
 //! seed must produce bit-identical reports, so ties in simulated time are
 //! broken by a monotonically increasing sequence number (insertion order),
-//! never by heap internals, and no wall-clock source exists anywhere in the
-//! simulator.
+//! never by container internals, and no wall-clock source exists anywhere in
+//! the simulator.
+//!
+//! Two backings implement the same `(time, seq)` pop order:
+//!
+//! * [`QueueKind::Calendar`] (the default) — a calendar queue: a wheel of
+//!   uniform-width time buckets plus an overflow list for events beyond the
+//!   wheel's window, lazily rebucketed as the event population grows,
+//!   shrinks, or marches past the window. Pushes and pops are amortized
+//!   O(1), which is what lets a run process 10^7+ requests.
+//! * [`QueueKind::Heap`] — the original binary heap, kept as the O(log n)
+//!   reference implementation; the property suite pins the calendar queue's
+//!   pop order against it.
 
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which backing data structure an [`EventQueue`] uses. Both produce the
+/// identical deterministic `(time, insertion order)` pop sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Bucketed calendar wheel + overflow list; amortized O(1) per event.
+    Calendar,
+    /// Binary heap; O(log n) per event. The reference implementation.
+    Heap,
+}
 
 /// One scheduled event: a payload due at a simulated time.
 #[derive(Debug, Clone)]
@@ -16,6 +39,15 @@ struct Entry<E> {
     time: f64,
     seq: u64,
     event: E,
+}
+
+/// Whether `a` pops strictly before `b`: earlier time first, insertion
+/// order (FIFO) on ties.
+fn earlier<E>(a: &Entry<E>, b: &Entry<E>) -> bool {
+    a.time
+        .total_cmp(&b.time)
+        .then_with(|| a.seq.cmp(&b.seq))
+        .is_lt()
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -43,11 +75,250 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Smallest wheel; also the size a fresh calendar starts with.
+const MIN_BUCKETS: usize = 16;
+/// Largest wheel; beyond this the overflow list absorbs growth until the
+/// wheel drains and rebuilding rebases the window.
+const MAX_BUCKETS: usize = 1 << 16;
+/// A rebuild triggers when the population exceeds this many events per
+/// bucket (the classic calendar-queue resize rule).
+const GROW_FACTOR: usize = 4;
+
+/// The calendar backing: `buckets[i]` holds events in
+/// `[base_s + i*width_s, base_s + (i+1)*width_s)`; events at or beyond the
+/// wheel's end wait in `overflow` until a rebuild rebases the window.
+///
+/// Buckets are unordered; the pop scan selects the `(time, seq)` minimum of
+/// the first non-empty bucket, so internal `swap_remove` order never leaks
+/// into pop order and determinism holds by construction.
+#[derive(Debug, Clone)]
+struct Calendar<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Width of one bucket, in seconds.
+    width_s: f64,
+    /// Start of bucket 0's window, in seconds.
+    base_s: f64,
+    /// First bucket that may be non-empty; pushes pull it back, pops walk
+    /// it forward past drained buckets.
+    cursor: usize,
+    /// Events currently in buckets (excludes the overflow list).
+    in_wheel: usize,
+    /// Events at or beyond the wheel window, unordered.
+    overflow: Vec<Entry<E>>,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Self {
+            buckets: std::iter::repeat_with(Vec::new).take(MIN_BUCKETS).collect(),
+            width_s: 1.0,
+            base_s: 0.0,
+            cursor: 0,
+            in_wheel: 0,
+            overflow: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.in_wheel + self.overflow.len()
+    }
+
+    /// End of the wheel's window (exclusive), in seconds.
+    fn wheel_end_s(&self) -> f64 {
+        self.base_s + self.width_s * self.buckets.len() as f64
+    }
+
+    /// The bucket for a time inside the wheel window. Times at or before
+    /// `base_s` (possible after pops rebased nothing — pushes into the past
+    /// of the window start) clamp to bucket 0.
+    fn bucket_index(&self, time_s: f64) -> usize {
+        if time_s <= self.base_s {
+            return 0;
+        }
+        // time_s < wheel_end_s, so the quotient is finite and in range; the
+        // min() guards the boundary rounding.
+        (((time_s - self.base_s) / self.width_s) as usize).min(self.buckets.len() - 1)
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        if entry.time >= self.wheel_end_s() {
+            self.overflow.push(entry);
+        } else {
+            let idx = self.bucket_index(entry.time);
+            self.buckets[idx].push(entry);
+            self.in_wheel += 1;
+            if idx < self.cursor {
+                self.cursor = idx;
+            }
+        }
+        if self.len() > GROW_FACTOR * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.in_wheel == 0 && !self.overflow.is_empty() {
+            // The wheel drained but future events are waiting: rebase the
+            // window around them. The width guard in rebuild() lands at
+            // least the earliest event inside the new wheel.
+            self.rebuild();
+        }
+        if self.in_wheel > 0 {
+            if let Some(entry) = self.pop_in_wheel() {
+                return Some(entry);
+            }
+            // Defensive: `in_wheel > 0` guarantees a non-empty bucket at or
+            // after the cursor, so this rescan is unreachable; restoring the
+            // cursor keeps the queue panic-free even if the invariant slips.
+            self.cursor = 0;
+            if let Some(entry) = self.pop_in_wheel() {
+                return Some(entry);
+            }
+        }
+        self.pop_overflow_min()
+    }
+
+    /// Walks the cursor to the first non-empty bucket and removes its
+    /// `(time, seq)` minimum.
+    fn pop_in_wheel(&mut self) -> Option<Entry<E>> {
+        while self.cursor < self.buckets.len() {
+            if self.buckets[self.cursor].is_empty() {
+                self.cursor += 1;
+                continue;
+            }
+            let bucket = &mut self.buckets[self.cursor];
+            let mut best = 0;
+            for i in 1..bucket.len() {
+                if earlier(&bucket[i], &bucket[best]) {
+                    best = i;
+                }
+            }
+            let entry = bucket.swap_remove(best);
+            self.in_wheel -= 1;
+            return Some(entry);
+        }
+        None
+    }
+
+    /// Removes the `(time, seq)` minimum of the overflow list directly.
+    /// Only reachable when the wheel is empty (every overflow event is later
+    /// than every wheel event by construction).
+    fn pop_overflow_min(&mut self) -> Option<Entry<E>> {
+        if self.overflow.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.overflow.len() {
+            if earlier(&self.overflow[i], &self.overflow[best]) {
+                best = i;
+            }
+        }
+        Some(self.overflow.swap_remove(best))
+    }
+
+    /// The earliest pending time without removing it.
+    fn peek_time(&self) -> Option<f64> {
+        if self.in_wheel > 0 {
+            for bucket in self.buckets.iter().skip(self.cursor) {
+                let Some(first) = bucket.first() else {
+                    continue;
+                };
+                let mut best = first.time;
+                for entry in &bucket[1..] {
+                    if entry.time.total_cmp(&best).is_lt() {
+                        best = entry.time;
+                    }
+                }
+                return Some(best);
+            }
+        }
+        let mut best: Option<f64> = None;
+        for entry in &self.overflow {
+            best = Some(match best {
+                Some(b) if b.total_cmp(&entry.time).is_le() => b,
+                _ => entry.time,
+            });
+        }
+        best
+    }
+
+    /// Collects every pending event and redistributes it over a wheel sized
+    /// to the current population: ~one event per bucket across the observed
+    /// time span, rebased so the earliest event defines bucket 0. Amortized
+    /// O(1) per event: a rebuild costs O(n) and is triggered either by the
+    /// population growing past `GROW_FACTOR * buckets` or by draining a
+    /// whole wheel of ~n events.
+    fn rebuild(&mut self) {
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len());
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        entries.append(&mut self.overflow);
+        self.in_wheel = 0;
+        self.cursor = 0;
+        let n = entries.len();
+        if n == 0 {
+            return;
+        }
+        let mut min_t = f64::INFINITY;
+        let mut max_t = f64::NEG_INFINITY;
+        for entry in &entries {
+            min_t = min_t.min(entry.time);
+            max_t = max_t.max(entry.time);
+        }
+        let target = n.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.buckets.len() != target {
+            // Shrinking drops only empty Vecs (everything was drained above).
+            self.buckets.resize_with(target, Vec::new);
+        }
+        let span = max_t - min_t;
+        let mut width = if span > 0.0 && span.is_finite() {
+            span / n as f64
+        } else {
+            // Degenerate span (all events at one instant): keep the old
+            // width, which the floor below makes positive.
+            self.width_s
+        };
+        // Floor the width so `base_s + width_s * buckets > base_s` holds in
+        // floating point: the earliest event must land inside the wheel,
+        // which is what makes pop() after a drain terminate.
+        let ulp_floor = (min_t.abs() + 1.0) * f64::EPSILON;
+        if !(width > ulp_floor && width.is_finite()) {
+            width = ulp_floor.max(1.0 * f64::EPSILON);
+        }
+        self.width_s = width;
+        self.base_s = min_t;
+        for entry in entries {
+            if entry.time >= self.wheel_end_s() {
+                self.overflow.push(entry);
+            } else {
+                let idx = self.bucket_index(entry.time);
+                self.buckets[idx].push(entry);
+                self.in_wheel += 1;
+            }
+        }
+    }
+}
+
+/// The two interchangeable backings.
+#[derive(Debug, Clone)]
+enum Backing<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(Calendar<E>),
+}
+
 /// A deterministic event queue ordered by `(time, insertion order)`.
+///
+/// Scheduling at a non-finite or negative time is a caller bug; the queue
+/// stays panic-free by clamping negative times to 0, dropping non-finite
+/// ones, and counting both in [`EventQueue::invalid_pushes`].
+/// [`EventQueue::try_push`] reports the same conditions as a structured
+/// [`SimError::InvalidEventTime`] instead.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backing: Backing<E>,
     seq: u64,
+    invalid: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,48 +328,112 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default [`QueueKind::Calendar`]
+    /// backing.
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::Calendar)
+    }
+
+    /// Creates an empty queue with an explicit backing.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let backing = match kind {
+            QueueKind::Calendar => Backing::Calendar(Calendar::new()),
+            QueueKind::Heap => Backing::Heap(BinaryHeap::new()),
+        };
         Self {
-            heap: BinaryHeap::new(),
+            backing,
             seq: 0,
+            invalid: 0,
         }
     }
 
-    /// Schedules `event` at simulated time `time` (seconds).
+    /// Which backing this queue uses.
+    pub fn kind(&self) -> QueueKind {
+        match self.backing {
+            Backing::Heap(_) => QueueKind::Heap,
+            Backing::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+
+    /// Schedules `event` at simulated time `time_s` (seconds).
     ///
-    /// # Panics
+    /// Invalid times never panic: a negative finite time is clamped to 0 and
+    /// the event scheduled there; a NaN or infinite time drops the event.
+    /// Both increment [`EventQueue::invalid_pushes`] so callers can surface
+    /// the bug without unwinding mid-run.
+    pub fn push(&mut self, time_s: f64, event: E) {
+        if !(time_s.is_finite() && time_s >= 0.0) {
+            self.invalid += 1;
+            if !time_s.is_finite() {
+                return;
+            }
+        }
+        self.push_valid(time_s.max(0.0), event);
+    }
+
+    /// Schedules `event` at `time_s`, rejecting invalid times structurally.
     ///
-    /// Panics if `time` is NaN or negative — a scheduling bug, not a
-    /// recoverable condition.
-    pub fn push(&mut self, time: f64, event: E) {
-        assert!(
-            time.is_finite() && time >= 0.0,
-            "event scheduled at invalid time {time}"
-        );
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidEventTime`] (scheduling nothing and
+    /// counting nothing) when `time_s` is NaN, infinite, or negative.
+    pub fn try_push(&mut self, time_s: f64, event: E) -> Result<(), SimError> {
+        if !(time_s.is_finite() && time_s >= 0.0) {
+            return Err(SimError::InvalidEventTime { time_s });
+        }
+        self.push_valid(time_s, event);
+        Ok(())
+    }
+
+    fn push_valid(&mut self, time_s: f64, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry {
+            time: time_s,
+            seq,
+            event,
+        };
+        match &mut self.backing {
+            Backing::Heap(heap) => heap.push(entry),
+            Backing::Calendar(calendar) => calendar.push(entry),
+        }
     }
 
     /// Removes and returns the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.backing {
+            Backing::Heap(heap) => heap.pop(),
+            Backing::Calendar(calendar) => calendar.pop(),
+        }
+        .map(|entry| (entry.time, entry.event))
     }
 
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backing {
+            Backing::Heap(heap) => heap.peek().map(|entry| entry.time),
+            Backing::Calendar(calendar) => calendar.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backing {
+            Backing::Heap(heap) => heap.len(),
+            Backing::Calendar(calendar) => calendar.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// How many pushes carried an invalid (negative, NaN, or infinite)
+    /// time. Always 0 in a correct simulation; the engine surfaces a
+    /// nonzero count as a `sim.event.invalid_time` telemetry counter.
+    pub fn invalid_pushes(&self) -> u64 {
+        self.invalid
     }
 }
 
@@ -106,45 +441,131 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both_kinds() -> [EventQueue<i32>; 2] {
+        [
+            EventQueue::with_kind(QueueKind::Calendar),
+            EventQueue::with_kind(QueueKind::Heap),
+        ]
+    }
+
     #[test]
     fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(3.0, "c");
-        q.push(1.0, "a");
-        q.push(2.0, "b");
-        assert_eq!(q.peek_time(), Some(1.0));
-        assert_eq!(q.pop(), Some((1.0, "a")));
-        assert_eq!(q.pop(), Some((2.0, "b")));
-        assert_eq!(q.pop(), Some((3.0, "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in [
+            EventQueue::with_kind(QueueKind::Calendar),
+            EventQueue::with_kind(QueueKind::Heap),
+        ] {
+            q.push(3.0, "c");
+            q.push(1.0, "a");
+            q.push(2.0, "b");
+            assert_eq!(q.peek_time(), Some(1.0));
+            assert_eq!(q.pop(), Some((1.0, "a")));
+            assert_eq!(q.pop(), Some((2.0, "b")));
+            assert_eq!(q.pop(), Some((3.0, "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..16 {
-            q.push(1.0, i);
+        for mut q in both_kinds() {
+            for i in 0..16 {
+                q.push(1.0, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..16).collect::<Vec<_>>());
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..16).collect::<Vec<_>>());
     }
 
     #[test]
     fn len_and_is_empty_track_contents() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(0.0, ());
-        q.push(0.5, ());
-        assert_eq!(q.len(), 2);
-        q.pop();
-        q.pop();
-        assert!(q.is_empty());
+        for mut q in both_kinds() {
+            assert!(q.is_empty());
+            q.push(0.0, 0);
+            q.push(0.5, 1);
+            assert_eq!(q.len(), 2);
+            q.pop();
+            q.pop();
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
-    #[should_panic(expected = "invalid time")]
-    fn nan_times_are_rejected() {
-        let mut q = EventQueue::new();
-        q.push(f64::NAN, ());
+    fn invalid_times_are_counted_not_panicked() {
+        for mut q in both_kinds() {
+            // NaN and infinities drop the event.
+            q.push(f64::NAN, 0);
+            q.push(f64::INFINITY, 1);
+            q.push(f64::NEG_INFINITY, 2);
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.invalid_pushes(), 3);
+            // A negative finite time clamps to zero but still schedules.
+            q.push(-1.0, 3);
+            assert_eq!(q.invalid_pushes(), 4);
+            assert_eq!(q.pop(), Some((0.0, 3)));
+        }
+    }
+
+    #[test]
+    fn try_push_rejects_invalid_times_structurally() {
+        for mut q in both_kinds() {
+            assert!(matches!(
+                q.try_push(f64::NAN, 0),
+                Err(SimError::InvalidEventTime { .. })
+            ));
+            assert!(matches!(
+                q.try_push(-0.25, 0),
+                Err(SimError::InvalidEventTime { time_s }) if time_s < 0.0
+            ));
+            assert_eq!(q.invalid_pushes(), 0, "try_push counts nothing");
+            assert!(q.try_push(0.25, 7).is_ok());
+            assert_eq!(q.pop(), Some((0.25, 7)));
+        }
+    }
+
+    #[test]
+    fn far_future_events_survive_the_overflow_list() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        q.push(1e9, 1); // far beyond the initial 16 s wheel window
+        q.push(0.5, 0);
+        q.push(2e9, 2);
+        assert_eq!(q.pop(), Some((0.5, 0)));
+        assert_eq!(q.pop(), Some((1e9, 1)));
+        assert_eq!(q.pop(), Some((2e9, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn growth_rebuilds_keep_sorted_order() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        // A deterministic scramble big enough to force several rebuilds.
+        let times: Vec<f64> = (0..10_000u64)
+            .map(|i| ((i * 7919) % 10_000) as f64 * 1e-3)
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i as i32);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let popped: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(popped.len(), sorted.len());
+        assert!(popped
+            .iter()
+            .zip(&sorted)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn all_equal_times_drain_in_fifo_order_across_rebuilds() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        for i in 0..200 {
+            q.push(5.0, i);
+        }
+        // Interleave pops and same-time pushes to exercise the degenerate
+        // zero-span rebuild path.
+        for i in 200..400 {
+            q.push(5.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..400).collect::<Vec<_>>());
     }
 }

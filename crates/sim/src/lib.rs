@@ -7,16 +7,24 @@
 //! under bursty traffic, how batching interacts with the §IV-E layer
 //! pipeline, and how many chips a model zoo needs to hold a p99 target.
 //!
-//! Four modules compose the simulator:
+//! Six modules compose the simulator:
 //!
-//! * [`event`] — the deterministic event-queue core (binary heap of
-//!   timestamped events, FIFO tie-breaking, no wall clock anywhere);
+//! * [`event`] — the deterministic event-queue core: an amortized-O(1)
+//!   calendar queue (bucketed wheel + overflow list, FIFO tie-breaking, no
+//!   wall clock anywhere), with the original binary heap kept as a
+//!   reference backing ([`QueueKind`]);
 //! * [`traffic`] — arrival processes (open-loop Poisson, bursty
 //!   Markov-modulated, closed-loop clients) and weighted model-zoo mixes;
 //! * [`scheduler`] — dispatch policies (FIFO, batching windows,
 //!   join-the-shortest-queue) and multi-chip sharding (replicate/partition);
+//! * [`faults`] — serving scenarios: deterministic chip outage / straggler
+//!   injection, SLO-aware load shedding, and the exact-vs-streaming
+//!   statistics mode ([`StatsMode`]) that keeps 10^7+-request runs in
+//!   constant memory;
 //! * [`stats`] — latency percentiles (p50/p95/p99), utilization, queue
-//!   depths, and energy per request, all serde-serializable.
+//!   depths, shed/failure accounting, and energy per request, all
+//!   serde-serializable;
+//! * [`error`] — structured [`SimError`]s for the panic-free API surface.
 //!
 //! The physics comes from the unified [`Backend`](timely_core::Backend)
 //! trait: each model's initiation interval, single-inference latency, and
@@ -60,13 +68,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod error;
 pub mod event;
+pub mod faults;
 pub mod scheduler;
 pub mod stats;
 pub mod traffic;
 
 pub use engine::{serving_check, serving_check_backend, ModelProfile, ServingSimulator, SimConfig};
-pub use event::EventQueue;
+pub use error::SimError;
+pub use event::{EventQueue, QueueKind};
+pub use faults::{Fault, FaultKind, Scenario, StatsMode};
 pub use scheduler::{FleetLayout, Policy, Sharding};
 pub use stats::{ChipStats, LatencyStats, ModelStats, SimReport};
 pub use traffic::{ArrivalProcess, ModelMix, TrafficSpec};

@@ -5,6 +5,7 @@
 //! *when* a queued request is issued into its chip's layer pipeline (FIFO
 //! immediately, or held back by a batching window).
 
+use crate::error::SimError;
 use serde::{Deserialize, Serialize};
 
 /// How queued requests are dispatched into a chip's pipeline.
@@ -31,19 +32,36 @@ pub enum Policy {
 }
 
 impl Policy {
-    /// Validates policy parameters.
+    /// Validates policy parameters, panicking on malformed ones (the
+    /// construction-time convenience form of [`Policy::check`]).
     pub(crate) fn validate(&self) {
+        if let Err(err) = self.check() {
+            panic!("{err}");
+        }
+    }
+
+    /// Validates policy parameters structurally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPolicy`] for a negative or non-finite
+    /// batching window or a zero batch size.
+    pub fn check(&self) -> Result<(), SimError> {
         if let Policy::Batched {
             window_s,
             max_batch,
         } = *self
         {
-            assert!(
-                window_s >= 0.0 && window_s.is_finite(),
-                "batch window must be >= 0"
-            );
-            assert!(max_batch > 0, "max_batch must be > 0");
+            if !(window_s >= 0.0 && window_s.is_finite()) {
+                return Err(SimError::InvalidPolicy(
+                    "batch window must be >= 0".to_string(),
+                ));
+            }
+            if max_batch == 0 {
+                return Err(SimError::InvalidPolicy("max_batch must be > 0".to_string()));
+            }
         }
+        Ok(())
     }
 
     /// A short human-readable label for report tables.

@@ -57,7 +57,18 @@ impl LatencyStats {
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 1]`).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    let rank = (q * sorted.len() as f64).ceil() as usize;
+    let product = q * sorted.len() as f64;
+    // Nearest-rank is ceil(q * n), but binary floating point can push an
+    // exactly-integral product infinitesimally high (0.55 * 20 =
+    // 11.000000000000002), which would overshoot the rank by one. Snap to
+    // the nearest integer when the product is within one part in 10^12 of
+    // it; otherwise take the true ceiling.
+    let nearest = product.round();
+    let rank = if (product - nearest).abs() <= product.abs() * 1e-12 + 1e-12 {
+        nearest as usize
+    } else {
+        product.ceil() as usize
+    };
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -98,8 +109,13 @@ pub struct SimReport {
     pub offered: u64,
     /// Total requests completed within the horizon.
     pub completed: u64,
-    /// Requests still queued or in flight when the horizon ended.
+    /// Requests still queued or in flight when the horizon ended (shed
+    /// requests are counted separately, not as backlog).
     pub backlog: u64,
+    /// Requests dropped by the scenario's admission cap
+    /// ([`Scenario::admission_cap`](crate::faults::Scenario)); 0 without
+    /// admission control.
+    pub shed: u64,
     /// Completed requests per second of simulated time.
     pub throughput_rps: f64,
     /// Latency summary over all completed requests.
@@ -113,6 +129,12 @@ pub struct SimReport {
     pub mean_queue_depth: f64,
     /// Largest instantaneous queued-request count observed.
     pub max_queue_depth: u64,
+    /// Chip outage windows that began within the horizon.
+    pub outages: u64,
+    /// Straggler (slowdown) windows that began within the horizon.
+    pub stragglers: u64,
+    /// Fault windows that ended (chip recovered) within the horizon.
+    pub recoveries: u64,
     /// Total energy across the fleet, in millijoules.
     pub total_energy_mj: f64,
     /// Mean energy per completed request, in millijoules.
@@ -161,6 +183,35 @@ mod tests {
     }
 
     #[test]
+    fn exactly_integral_ranks_do_not_overshoot() {
+        // 0.55 * 20 lands on rank 11 exactly, but the f64 product is
+        // 11.000000000000002; a bare ceil() would overshoot to rank 12.
+        let samples: Vec<f64> = (1..=20).map(|i| i as f64 * 1e-3).collect();
+        assert!((percentile(&samples, 0.55) - 0.011).abs() < 1e-12);
+        // The golden-pinned quantiles stay on their nearest-rank values.
+        assert!((percentile(&samples, 0.50) - 0.010).abs() < 1e-12);
+        assert!((percentile(&samples, 0.95) - 0.019).abs() < 1e-12);
+        // Non-integral products still take the true ceiling: 0.99 * 20 =
+        // 19.8 -> rank 20.
+        assert!((percentile(&samples, 0.99) - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_equal_samples_report_that_value_everywhere() {
+        let stats = LatencyStats::from_samples_s(&[0.004; 37]);
+        assert_eq!(stats.count, 37);
+        for v in [
+            stats.mean_ms,
+            stats.p50_ms,
+            stats.p95_ms,
+            stats.p99_ms,
+            stats.max_ms,
+        ] {
+            assert!((v - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn percentiles_are_monotone() {
         let samples: Vec<f64> = (0..997)
             .map(|i| ((i * 7919) % 1000) as f64 * 1e-4)
@@ -178,6 +229,7 @@ mod tests {
             offered: 10,
             completed: 9,
             backlog: 1,
+            shed: 0,
             throughput_rps: 9.0,
             latency: LatencyStats::from_samples_s(&[0.001, 0.002]),
             per_model: vec![ModelStats {
@@ -194,6 +246,9 @@ mod tests {
             }],
             mean_queue_depth: 0.4,
             max_queue_depth: 3,
+            outages: 1,
+            stragglers: 0,
+            recoveries: 1,
             total_energy_mj: 31.5,
             energy_mj_per_request: 3.5,
         };

@@ -7,6 +7,7 @@
 //! response (plus a think time) before issuing the next request, so offered
 //! load self-limits at the fleet's capacity.
 
+use crate::error::SimError;
 use rand::distributions::{Distribution, Exp};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -46,11 +47,20 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
-    /// Validates the process parameters.
-    pub(crate) fn validate(&self) {
+    /// Validates the process parameters structurally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTraffic`] naming the malformed parameter:
+    /// non-positive or non-finite rates and sojourns, zero clients, or a
+    /// negative think time.
+    pub fn check(&self) -> Result<(), SimError> {
+        let fail = |reason: &str| Err(SimError::InvalidTraffic(reason.to_string()));
         match *self {
             ArrivalProcess::Poisson { rate } => {
-                assert!(rate > 0.0 && rate.is_finite(), "Poisson rate must be > 0");
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return fail("Poisson rate must be > 0");
+                }
             }
             ArrivalProcess::Bursty {
                 base_rate,
@@ -58,20 +68,30 @@ impl ArrivalProcess {
                 mean_burst_s,
                 mean_quiet_s,
             } => {
-                assert!(base_rate > 0.0 && burst_rate > 0.0, "rates must be > 0");
-                assert!(
-                    mean_burst_s > 0.0 && mean_quiet_s > 0.0,
-                    "sojourn times must be > 0"
-                );
+                if !(base_rate > 0.0 && base_rate.is_finite())
+                    || !(burst_rate > 0.0 && burst_rate.is_finite())
+                {
+                    return fail("rates must be > 0");
+                }
+                if !(mean_burst_s > 0.0 && mean_burst_s.is_finite())
+                    || !(mean_quiet_s > 0.0 && mean_quiet_s.is_finite())
+                {
+                    return fail("sojourn times must be > 0");
+                }
             }
             ArrivalProcess::ClosedLoop {
                 clients,
                 think_time_s,
             } => {
-                assert!(clients > 0, "closed loop needs at least one client");
-                assert!(think_time_s >= 0.0, "think time must be >= 0");
+                if clients == 0 {
+                    return fail("closed loop needs at least one client");
+                }
+                if !(think_time_s >= 0.0 && think_time_s.is_finite()) {
+                    return fail("think time must be >= 0");
+                }
             }
         }
+        Ok(())
     }
 }
 
@@ -99,17 +119,37 @@ impl ModelMix {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is empty or any weight is not strictly positive.
+    /// Panics if `entries` is empty or any weight is not strictly positive
+    /// ([`ModelMix::try_weighted`] is the panic-free form).
     pub fn weighted(entries: Vec<(usize, f64)>) -> Self {
-        assert!(!entries.is_empty(), "model mix must not be empty");
-        let total: f64 = entries
-            .iter()
-            .map(|&(_, w)| {
-                assert!(w > 0.0 && w.is_finite(), "mix weights must be > 0");
-                w
-            })
-            .sum();
-        Self { entries, total }
+        match Self::try_weighted(entries) {
+            Ok(mix) => mix,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// [`ModelMix::weighted`] with structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTraffic`] if `entries` is empty or any
+    /// weight is not a strictly positive finite number.
+    pub fn try_weighted(entries: Vec<(usize, f64)>) -> Result<Self, SimError> {
+        if entries.is_empty() {
+            return Err(SimError::InvalidTraffic(
+                "model mix must not be empty".to_string(),
+            ));
+        }
+        let mut total = 0.0;
+        for &(_, w) in &entries {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(SimError::InvalidTraffic(
+                    "mix weights must be > 0".to_string(),
+                ));
+            }
+            total += w;
+        }
+        Ok(Self { entries, total })
     }
 
     /// The model indices referenced by this mix.
