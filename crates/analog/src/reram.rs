@@ -188,7 +188,9 @@ impl Crossbar {
     /// # Errors
     ///
     /// Returns [`AnalogError::DimensionMismatch`] if `input_times.len()` does
-    /// not equal the number of rows.
+    /// not equal the number of rows, or [`AnalogError::LevelOutOfRange`] if a
+    /// stored level exceeds the cell's bit width (impossible via
+    /// [`Crossbar::program`], which range-checks).
     pub fn column_charges(
         &self,
         input_times: &[Time],
@@ -209,10 +211,10 @@ impl Crossbar {
                 continue;
             }
             for col in 0..self.cols {
-                let g = self
-                    .config
-                    .conductance(self.level(row, col))
-                    .expect("programmed levels are always valid");
+                // `program`/`program_column` range-check every level, so the
+                // lookup cannot fail; propagating instead of unwrapping
+                // keeps the charge path panic-free all the same.
+                let g = self.config.conductance(self.level(row, col))?;
                 charges[col] += t_seconds * v_dd.as_volts() * g;
             }
         }

@@ -451,6 +451,7 @@ impl Explorer {
     /// Inserts `vector_buf` into the incremental Pareto archive, dropping it
     /// if dominated and evicting archive rows it dominates (in place, no
     /// reallocation in the steady state).
+    // lint:hot archive maintenance: runs once per feasible candidate
     fn archive_insert(&mut self) {
         let dims = self.dims;
         let vector = &self.vector_buf;
@@ -480,6 +481,7 @@ impl Explorer {
         self.consider(&config)
     }
 
+    // lint:hot the grid screen/evaluate loop over the whole design space
     fn run_grid(&mut self, max_points: usize) {
         let len = self.space.len();
         let budget = max_points.clamp(1, len);
@@ -494,6 +496,7 @@ impl Explorer {
         }
     }
 
+    // lint:hot the random screen/evaluate loop over sampled candidates
     fn run_random(&mut self, samples: usize, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
         let len = self.space.len();

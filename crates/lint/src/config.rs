@@ -61,6 +61,10 @@ pub struct LintConfig {
     pub rules: BTreeMap<String, RuleConfig>,
     /// File-level allowlist entries.
     pub allows: Vec<AllowEntry>,
+    /// The suppression ratchet: when set, the total suppressed-finding
+    /// count must equal this exactly (slack means the budget must be
+    /// ratcheted down; overage means a new suppression slipped in).
+    pub budget: Option<usize>,
 }
 
 impl LintConfig {
@@ -77,7 +81,15 @@ impl LintConfig {
 
     /// True when the allowlist suppresses `rule` for `path`.
     pub fn is_allowlisted(&self, rule: &str, path: &str) -> bool {
-        self.allows.iter().any(|a| a.rule == rule && a.path == path)
+        self.allowlist_index(rule, path).is_some()
+    }
+
+    /// The index of the `[[allow]]` entry suppressing `rule` for `path`,
+    /// used for stale-allow accounting.
+    pub fn allowlist_index(&self, rule: &str, path: &str) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|a| a.rule == rule && a.path == path)
     }
 
     /// The configured string-array list `key` for `rule`, if present.
@@ -91,6 +103,7 @@ enum Section {
     Top,
     Rule(String),
     Allow,
+    Budget,
 }
 
 /// Parses the `lint.toml` text.
@@ -121,6 +134,8 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
             let header = header.trim();
             section = if header == "scan" {
                 Section::Top
+            } else if header == "budget" {
+                Section::Budget
             } else if let Some(rule) = header.strip_prefix("rules.") {
                 config.rules.entry(rule.to_string()).or_default();
                 Section::Rule(rule.to_string())
@@ -157,6 +172,7 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
                     r.lists.insert(key.to_string(), items);
                 }
             }
+            (Section::Budget, "suppressions", Value::Int(n)) => config.budget = Some(n),
             (Section::Allow, key, Value::Str(s)) => {
                 let entry = match config.allows.last_mut() {
                     Some(entry) => entry,
@@ -197,6 +213,7 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
 enum Value {
     Str(String),
     Array(Vec<String>),
+    Int(usize),
 }
 
 fn err(line: usize, message: String) -> ConfigError {
@@ -249,6 +266,12 @@ fn parse_value(text: &str, lineno: usize) -> Result<Value, ConfigError> {
             items.push(parse_string(part, lineno)?);
         }
         return Ok(Value::Array(items));
+    }
+    if text.chars().all(|c| c.is_ascii_digit()) && !text.is_empty() {
+        return text
+            .parse::<usize>()
+            .map(Value::Int)
+            .map_err(|_| err(lineno, format!("integer out of range: `{text}`")));
     }
     Ok(Value::Str(parse_string(text, lineno)?))
 }
@@ -318,6 +341,14 @@ reason = "queue invariant"
             cfg.rule_list("unit-suffix", "quantity-words"),
             Some(&["energy".to_string(), "latency".to_string()][..])
         );
+    }
+
+    #[test]
+    fn budget_section_parses_an_integer() {
+        let cfg = parse("[budget]\nsuppressions = 22\n").expect("budget parses");
+        assert_eq!(cfg.budget, Some(22));
+        // Non-integer budgets are rejected, not silently ignored.
+        assert!(parse("[budget]\nsuppressions = \"many\"\n").is_err());
     }
 
     #[test]

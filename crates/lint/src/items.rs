@@ -1,0 +1,189 @@
+//! The item model the parser produces and the workspace symbol table the
+//! call graph resolves against.
+//!
+//! `timely-lint` is deliberately not a compiler: items carry just enough
+//! signature information for the interprocedural rules — function names
+//! (qualified by their `impl`/`trait` context), parameter names and raw
+//! float-ness, visibility, hot-loop markers, and the token range of the
+//! body. Resolution is name-based ("name-resolution-lite"): a method call
+//! resolves to every function of that name in the workspace, which
+//! over-approximates the real call graph — sound for reachability (no panic
+//! site is missed), at the cost of occasional spurious edges.
+
+use std::collections::BTreeMap;
+
+/// One function parameter, as parsed from the signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The binding name (`energy`, `latency_ms`, …; patterns reduce to the
+    /// last identifier before the `:`).
+    pub name: String,
+    /// 1-indexed line of the parameter name.
+    pub line: usize,
+    /// True when the declared type is a bare `f64`/`f32` (possibly behind
+    /// `&`/`mut`) — the raw floats unit discipline applies to.
+    pub is_raw_float: bool,
+    /// The head identifier of the type, for messages (`f64`, `Vec`, …).
+    pub ty_name: String,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's simple name.
+    pub name: String,
+    /// The `impl` target (or the `trait` name for default methods), when
+    /// the function is a method.
+    pub self_type: Option<String>,
+    /// The trait name for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// True when the declaration carries `pub` (any visibility qualifier).
+    pub is_pub: bool,
+    /// True when the `fn` token sits inside a `#[cfg(test)]`/`#[test]`
+    /// region.
+    pub is_test: bool,
+    /// True when a `// lint:hot` marker precedes the function.
+    pub is_hot: bool,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Parsed parameters (the `self` receiver is omitted).
+    pub params: Vec<Param>,
+    /// Token-index range of the body including both braces, when the item
+    /// has one (trait declarations and extern items do not).
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, the bare name for free functions.
+    pub fn qualified(&self) -> String {
+        match &self.self_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One workspace symbol: a function plus the file it lives in.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    pub item: FnItem,
+}
+
+/// All functions in the workspace, indexed for name-resolution-lite lookup.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Symbols sorted by (path, line, name) — ids are indices into this.
+    pub symbols: Vec<Symbol>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    by_qualified: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from per-file item lists. Input order does not
+    /// matter; symbols are sorted so ids are deterministic.
+    pub fn build(files: &[(String, Vec<FnItem>)]) -> SymbolTable {
+        let mut symbols: Vec<Symbol> = files
+            .iter()
+            .flat_map(|(path, items)| {
+                items.iter().map(|item| Symbol {
+                    path: path.clone(),
+                    item: item.clone(),
+                })
+            })
+            .collect();
+        symbols.sort_by(|a, b| {
+            (&a.path, a.item.line, &a.item.name).cmp(&(&b.path, b.item.line, &b.item.name))
+        });
+        let mut table = SymbolTable {
+            symbols,
+            ..Default::default()
+        };
+        for (id, symbol) in table.symbols.iter().enumerate() {
+            table
+                .by_name
+                .entry(symbol.item.name.clone())
+                .or_default()
+                .push(id);
+            if let Some(ty) = &symbol.item.self_type {
+                table
+                    .by_qualified
+                    .entry(format!("{ty}::{}", symbol.item.name))
+                    .or_default()
+                    .push(id);
+            }
+            if let Some(tr) = &symbol.item.trait_name {
+                table
+                    .by_qualified
+                    .entry(format!("{tr}::{}", symbol.item.name))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        table
+    }
+
+    /// Every symbol with this simple name.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every symbol matching `Type::name` (impl target or trait name).
+    pub fn by_qualified(&self, qualified: &str) -> &[usize] {
+        self.by_qualified
+            .get(qualified)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resolves an entry-point spec: `Type::method` matches by qualified
+    /// name (impl target or trait), a bare name matches every function with
+    /// that simple name.
+    pub fn resolve_entry(&self, spec: &str) -> Vec<usize> {
+        if spec.contains("::") {
+            self.by_qualified(spec).to_vec()
+        } else {
+            self.by_name(spec).to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(name: &str, self_type: Option<&str>, line: usize) -> FnItem {
+        FnItem {
+            name: name.to_string(),
+            self_type: self_type.map(str::to_string),
+            trait_name: None,
+            is_pub: true,
+            is_test: false,
+            is_hot: false,
+            line,
+            params: Vec::new(),
+            body: None,
+        }
+    }
+
+    #[test]
+    fn table_resolves_simple_and_qualified_names() {
+        let files = vec![
+            (
+                "b.rs".to_string(),
+                vec![item("run", Some("Explorer"), 10), item("helper", None, 20)],
+            ),
+            ("a.rs".to_string(), vec![item("run", Some("Sim"), 5)]),
+        ];
+        let table = SymbolTable::build(&files);
+        // Sorted: a.rs Sim::run, b.rs Explorer::run, b.rs helper.
+        assert_eq!(table.symbols.len(), 3);
+        assert_eq!(table.symbols[0].path, "a.rs");
+        assert_eq!(table.by_name("run").len(), 2);
+        assert_eq!(table.by_qualified("Explorer::run").len(), 1);
+        assert_eq!(table.resolve_entry("Sim::run"), vec![0]);
+        assert_eq!(table.resolve_entry("helper"), vec![2]);
+        assert!(table.resolve_entry("missing").is_empty());
+    }
+}

@@ -74,15 +74,25 @@ pub struct InlineAllow {
 pub struct LexedFile {
     pub tokens: Vec<Token>,
     pub allows: Vec<InlineAllow>,
+    /// Lines carrying a `// lint:hot` marker; the item parser attaches each
+    /// to the next `fn` at or below the marker.
+    pub hot_markers: Vec<usize>,
 }
 
 impl LexedFile {
     /// True when `rule` is suppressed for a violation on `line`: an allow
     /// comment on the same line (trailing) or on the line directly above.
     pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allow_line_for(rule, line).is_some()
+    }
+
+    /// The line of the allow comment that suppresses `rule` on `line`, if
+    /// any — used for both suppression and stale-allow accounting.
+    pub fn allow_line_for(&self, rule: &str, line: usize) -> Option<usize> {
         self.allows
             .iter()
-            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+            .find(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+            .map(|a| a.line)
     }
 }
 
@@ -110,15 +120,23 @@ pub fn lex(source: &str) -> LexedFile {
                 i += 1;
             }
             c if c.is_whitespace() => i += 1,
-            // Line comment (also doc comments) — harvest lint:allow markers.
+            // Line comment — harvest lint:allow / lint:hot markers. Doc
+            // comments (`///`, `//!`) are prose: a rendered mention of the
+            // marker syntax must not count as a live suppression.
             '/' if i + 1 < len && bytes[i + 1] == '/' => {
                 let start = i;
+                let is_doc = i + 2 < len && (bytes[i + 2] == '/' || bytes[i + 2] == '!');
                 while i < len && bytes[i] != '\n' {
                     i += 1;
                 }
-                let text: String = bytes[start..i].iter().collect();
-                if let Some(allow) = parse_allow_comment(&text, line) {
-                    out.allows.push(allow);
+                if !is_doc {
+                    let text: String = bytes[start..i].iter().collect();
+                    if let Some(allow) = parse_allow_comment(&text, line) {
+                        out.allows.push(allow);
+                    }
+                    if text.contains("lint:hot") {
+                        out.hot_markers.push(line);
+                    }
                 }
             }
             // Block comment, possibly nested (Rust allows nesting).
@@ -527,6 +545,20 @@ mod tests {
         assert!(file.is_allowed("panic", 2)); // line below the comment
         assert!(!file.is_allowed("panic", 3));
         assert!(!file.is_allowed("float-eq", 1));
+    }
+
+    #[test]
+    fn hot_markers_are_harvested() {
+        let file = lex("// lint:hot calendar pop\nfn pop() {}\nfn other() {} // lint:hot\n");
+        assert_eq!(file.hot_markers, vec![1, 3]);
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_markers() {
+        let src = "/// A `// lint:allow(panic)` mention.\n//! Also `lint:hot` prose.\nfn f() {}\n";
+        let file = lex(src);
+        assert!(file.allows.is_empty());
+        assert!(file.hot_markers.is_empty());
     }
 
     #[test]

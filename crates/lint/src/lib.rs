@@ -25,12 +25,17 @@
 //! The `timely-lint` binary exits nonzero on any unsuppressed violation and
 //! is wired into `scripts/verify.sh` ahead of the golden-file studies.
 
+pub mod callgraph;
 pub mod config;
+pub mod items;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
 
 use config::LintConfig;
 use rules::Finding;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,6 +49,34 @@ pub struct Suppressed {
     pub via: &'static str,
 }
 
+/// A suppression that matched nothing this run — dead weight `--stale-allows`
+/// fails on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaleSuppression {
+    /// Workspace-relative path (the allow comment's file, or the `[[allow]]`
+    /// entry's target).
+    pub path: String,
+    /// The comment line for inline allows; 0 for `lint.toml` entries.
+    pub line: usize,
+    /// The rule the suppression names.
+    pub rule: String,
+    /// `"inline"` or `"allowlist"`.
+    pub via: &'static str,
+}
+
+/// Call-graph summary statistics, carried in every report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Function nodes in the workspace symbol table.
+    pub nodes: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Panic-capable sites attached to nodes (non-test code).
+    pub panic_sites: usize,
+    /// The configured `panic-reachability` entry-point specs.
+    pub entry_points: Vec<String>,
+}
+
 /// The outcome of linting a set of files.
 #[derive(Debug, Default)]
 pub struct LintReport {
@@ -53,12 +86,43 @@ pub struct LintReport {
     pub suppressed: Vec<Suppressed>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Suppressions that matched nothing, sorted by (path, line, rule).
+    pub stale: Vec<StaleSuppression>,
+    /// Workspace call-graph statistics.
+    pub graph: GraphStats,
+    /// The configured suppression budget, when set.
+    pub budget: Option<usize>,
+}
+
+/// The state of the suppression ratchet for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetVerdict {
+    /// No budget configured.
+    Unset,
+    /// Used count equals the budget exactly.
+    Ok,
+    /// More suppressions than budgeted — a new one slipped in.
+    Exceeded { used: usize, budget: usize },
+    /// Fewer suppressions than budgeted — ratchet the budget down.
+    Slack { used: usize, budget: usize },
 }
 
 impl LintReport {
-    /// True when the gate passes.
+    /// True when the gate passes on violations alone (budget and staleness
+    /// are separate verdicts the binary folds in).
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Compares the suppressed-finding count against the configured budget.
+    pub fn budget_verdict(&self) -> BudgetVerdict {
+        let used = self.suppressed.len();
+        match self.budget {
+            None => BudgetVerdict::Unset,
+            Some(budget) if used == budget => BudgetVerdict::Ok,
+            Some(budget) if used > budget => BudgetVerdict::Exceeded { used, budget },
+            Some(budget) => BudgetVerdict::Slack { used, budget },
+        }
     }
 
     /// Renders the deterministic report. With `fix_hints`, each violation is
@@ -83,6 +147,66 @@ impl LintReport {
             self.violations.len(),
             self.suppressed.len(),
             self.files_scanned
+        );
+        let _ = writeln!(
+            out,
+            "timely-lint: call graph: {} fns, {} edges, {} panic sites, {} entry point(s)",
+            self.graph.nodes,
+            self.graph.edges,
+            self.graph.panic_sites,
+            self.graph.entry_points.len()
+        );
+        match self.budget_verdict() {
+            BudgetVerdict::Unset => {}
+            BudgetVerdict::Ok => {
+                let _ = writeln!(
+                    out,
+                    "timely-lint: suppression budget {} / {} used (ratchet holds)",
+                    self.suppressed.len(),
+                    self.budget.unwrap_or(0)
+                );
+            }
+            BudgetVerdict::Exceeded { used, budget } => {
+                let _ = writeln!(
+                    out,
+                    "timely-lint: suppression budget EXCEEDED: {used} used > {budget} budgeted — remove the new suppression, do not raise the budget"
+                );
+            }
+            BudgetVerdict::Slack { used, budget } => {
+                let _ = writeln!(
+                    out,
+                    "timely-lint: suppression budget has slack: {used} used < {budget} budgeted — ratchet lint.toml's budget down to {used}"
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the stale-suppression report (`--stale-allows`).
+    pub fn render_stale(&self) -> String {
+        let mut out = String::new();
+        for stale in &self.stale {
+            match stale.via {
+                "inline" => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: stale inline lint:allow({}) — suppresses nothing",
+                        stale.path, stale.line, stale.rule
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "lint.toml: stale [[allow]] rule=\"{}\" path=\"{}\" — suppresses nothing",
+                        stale.rule, stale.path
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "timely-lint: {} stale suppression(s)",
+            self.stale.len()
         );
         out
     }
@@ -174,51 +298,167 @@ pub fn relative_path(root: &Path, path: &Path) -> String {
 }
 
 /// Lints one file's source text under `config`, splitting findings into
-/// violations and suppressions. `rel_path` scopes the rules.
+/// violations and suppressions. `rel_path` scopes the rules. (A one-file
+/// workspace: interprocedural rules see only this file's call graph.)
 pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> LintReport {
-    let lexed = lexer::lex(source);
+    lint_sources(&[(rel_path.to_string(), source.to_string())], config)
+}
+
+/// Lints a set of (workspace-relative path, source) pairs as one workspace:
+/// per-file token rules, item rules, and the interprocedural
+/// `panic-reachability` walk over the combined call graph — with full
+/// suppression-usage accounting for `--stale-allows` and the budget.
+pub fn lint_sources(files: &[(String, String)], config: &LintConfig) -> LintReport {
+    struct Analyzed {
+        path: String,
+        lexed: lexer::LexedFile,
+        items: Vec<items::FnItem>,
+    }
+    let analyzed: Vec<Analyzed> = files
+        .iter()
+        .map(|(path, source)| {
+            let lexed = lexer::lex(source);
+            let items = parser::parse_items(&lexed);
+            Analyzed {
+                path: path.clone(),
+                lexed,
+                items,
+            }
+        })
+        .collect();
+
+    // Per-file rules.
+    let mut raw: Vec<(usize, Finding)> = Vec::new();
+    for (idx, file) in analyzed.iter().enumerate() {
+        for finding in rules::check_file(&file.path, &file.lexed, config) {
+            raw.push((idx, finding));
+        }
+        for finding in rules::check_items(&file.path, &file.lexed, &file.items, config) {
+            raw.push((idx, finding));
+        }
+    }
+
+    // The workspace call graph and the panic-reachability walk.
+    let sources: Vec<callgraph::SourceFile> = analyzed
+        .iter()
+        .map(|file| callgraph::SourceFile {
+            path: &file.path,
+            lexed: &file.lexed,
+            items: &file.items,
+        })
+        .collect();
+    let graph = callgraph::CallGraph::build(&sources);
+    let entry_points: Vec<String> = config
+        .rule_list("panic-reachability", "entry-points")
+        .map(<[String]>::to_vec)
+        .unwrap_or_default();
+    for site in graph.reachable_panic_sites(&entry_points) {
+        let symbol = &graph.symbols.symbols[site.node];
+        if !config.rule_applies("panic-reachability", &symbol.path) {
+            continue;
+        }
+        let Some(idx) = analyzed.iter().position(|f| f.path == symbol.path) else {
+            continue;
+        };
+        raw.push((
+            idx,
+            Finding {
+                line: site.site.line,
+                rule: "panic-reachability",
+                message: format!(
+                    "`{}` reachable from entry `{}` via {}",
+                    site.site.what,
+                    site.entry,
+                    graph.chain_display(&site.chain)
+                ),
+                hint: "break the path: make every function on the chain return a structured error, or justify the site with an entry-point-scoped `// lint:allow(panic-reachability)` naming the invariant".to_string(),
+            },
+        ));
+    }
+
+    // Suppression filtering, tracking which allows actually fire.
     let mut report = LintReport {
-        files_scanned: 1,
+        files_scanned: analyzed.len(),
+        budget: config.budget,
+        graph: GraphStats {
+            nodes: graph.symbols.symbols.len(),
+            edges: graph.edge_count(),
+            panic_sites: graph.panic_site_count(),
+            entry_points,
+        },
         ..Default::default()
     };
-    for finding in rules::check_file(rel_path, &lexed, config) {
-        if lexed.is_allowed(finding.rule, finding.line) {
+    let mut used_inline: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+    let mut used_allowlist: BTreeSet<usize> = BTreeSet::new();
+    for (idx, finding) in raw {
+        let file = &analyzed[idx];
+        if let Some(allow_line) = file.lexed.allow_line_for(finding.rule, finding.line) {
+            used_inline.insert((idx, allow_line, finding.rule.to_string()));
             report.suppressed.push(Suppressed {
-                path: rel_path.to_string(),
+                path: file.path.clone(),
                 finding,
                 via: "inline",
             });
-        } else if config.is_allowlisted(finding.rule, rel_path) {
+        } else if let Some(entry_idx) = config.allowlist_index(finding.rule, &file.path) {
+            used_allowlist.insert(entry_idx);
             report.suppressed.push(Suppressed {
-                path: rel_path.to_string(),
+                path: file.path.clone(),
                 finding,
                 via: "allowlist",
             });
         } else {
-            report.violations.push((rel_path.to_string(), finding));
+            report.violations.push((file.path.clone(), finding));
         }
     }
+
+    // Stale suppressions: inline allows and allowlist entries that fired on
+    // nothing. Allowlist staleness is only meaningful when the entry's file
+    // was actually part of this lint (single-file lints would otherwise
+    // report every other entry as stale).
+    for (idx, file) in analyzed.iter().enumerate() {
+        for allow in &file.lexed.allows {
+            for rule in &allow.rules {
+                if !used_inline.contains(&(idx, allow.line, rule.clone())) {
+                    report.stale.push(StaleSuppression {
+                        path: file.path.clone(),
+                        line: allow.line,
+                        rule: rule.clone(),
+                        via: "inline",
+                    });
+                }
+            }
+        }
+    }
+    for (entry_idx, entry) in config.allows.iter().enumerate() {
+        let file_in_scan = analyzed.iter().any(|f| f.path == entry.path);
+        if file_in_scan && !used_allowlist.contains(&entry_idx) {
+            report.stale.push(StaleSuppression {
+                path: entry.path.clone(),
+                line: 0,
+                rule: entry.rule.clone(),
+                via: "allowlist",
+            });
+        }
+    }
+
+    report.violations.sort();
+    report.suppressed.sort();
+    report.stale.sort();
     report
 }
 
 /// Lints every configured file under `root` (the workspace checkout).
 pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, LintError> {
     let files = collect_files(root, config)?;
-    let mut report = LintReport::default();
+    let mut inputs = Vec::with_capacity(files.len());
     for path in &files {
         let source = fs::read_to_string(path).map_err(|e| LintError::Io {
             path: path.clone(),
             message: e.to_string(),
         })?;
-        let rel = relative_path(root, path);
-        let file_report = lint_source(&rel, &source, config);
-        report.violations.extend(file_report.violations);
-        report.suppressed.extend(file_report.suppressed);
-        report.files_scanned += 1;
+        inputs.push((relative_path(root, path), source));
     }
-    report.violations.sort();
-    report.suppressed.sort();
-    Ok(report)
+    Ok(lint_sources(&inputs, config))
 }
 
 #[cfg(test)]

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! timely-lint [--root DIR] [--fix-hints] [--rules] [--list-files]
+//!             [--json] [--stale-allows]
 //! ```
 //!
 //! Reads `<root>/lint.toml`, lints every configured `.rs` file, prints the
 //! deterministic report to stdout, and exits nonzero when any unsuppressed
-//! violation exists (exit 2 for usage/config/IO errors). `--fix-hints`
-//! appends the suggested rewrite under each violation.
+//! violation exists or the suppression budget is violated in either
+//! direction (exit 2 for usage/config/IO errors). `--fix-hints` appends the
+//! suggested rewrite under each violation. `--json` emits the
+//! machine-readable report (byte-identical across runs). `--stale-allows`
+//! reports suppressions that matched nothing and fails when any exist.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -24,6 +28,8 @@ struct Options {
     fix_hints: bool,
     list_rules: bool,
     list_files: bool,
+    json: bool,
+    stale_allows: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,6 +38,8 @@ fn parse_args() -> Result<Options, String> {
         fix_hints: false,
         list_rules: false,
         list_files: false,
+        json: false,
+        stale_allows: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,9 +51,11 @@ fn parse_args() -> Result<Options, String> {
             "--fix-hints" => options.fix_hints = true,
             "--rules" => options.list_rules = true,
             "--list-files" => options.list_files = true,
+            "--json" => options.json = true,
+            "--stale-allows" => options.stale_allows = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: timely-lint [--root DIR] [--fix-hints] [--rules] [--list-files]"
+                    "usage: timely-lint [--root DIR] [--fix-hints] [--rules] [--list-files] [--json] [--stale-allows]"
                         .to_string(),
                 )
             }
@@ -99,8 +109,24 @@ fn main() -> ExitCode {
 
     match timely_lint::lint_workspace(&options.root, &config) {
         Ok(report) => {
-            emit(&report.render(options.fix_hints));
-            if report.is_clean() {
+            if options.stale_allows {
+                emit(&report.render_stale());
+                return if report.stale.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            if options.json {
+                emit(&timely_lint::report::render_json(&report));
+            } else {
+                emit(&report.render(options.fix_hints));
+            }
+            let budget_ok = matches!(
+                report.budget_verdict(),
+                timely_lint::BudgetVerdict::Unset | timely_lint::BudgetVerdict::Ok
+            );
+            if report.is_clean() && budget_ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

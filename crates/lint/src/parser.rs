@@ -1,0 +1,500 @@
+//! A hand-rolled item-level parser on top of the lexer: extracts `fn`
+//! signatures (name, visibility, parameters, body token range) together
+//! with their `impl`/`trait` context, and attaches `// lint:hot` markers.
+//!
+//! This is not a Rust parser — it recognizes exactly the item structure the
+//! interprocedural rules need and skips everything else token by token.
+//! Unrecognized constructs degrade safely: a signature the parser cannot
+//! follow yields no item (and therefore no findings) rather than a wrong
+//! one.
+
+use crate::items::{FnItem, Param};
+use crate::lexer::{LexedFile, Token};
+
+/// Parses every function item in a lexed file.
+pub fn parse_items(lexed: &LexedFile) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    parse_block(&lexed.tokens, 0, lexed.tokens.len(), None, None, &mut items);
+    items.sort_by_key(|item| item.line);
+    attach_hot_markers(&mut items, &lexed.hot_markers);
+    items
+}
+
+/// Scans `tokens[start..end]` for items, descending into `impl`, `trait`,
+/// `mod`, and `fn` bodies. `self_type`/`trait_name` carry the enclosing
+/// impl context.
+fn parse_block(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    self_type: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut Vec<FnItem>,
+) {
+    let mut i = start;
+    while i < end {
+        match tokens[i].ident() {
+            "impl" => {
+                if let Some(header) = parse_impl_header(tokens, i, end) {
+                    parse_block(
+                        tokens,
+                        header.body_open + 1,
+                        header.body_close,
+                        header.self_type.as_deref(),
+                        header.trait_name.as_deref(),
+                        out,
+                    );
+                    i = header.body_close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "trait" => {
+                let name = tokens.get(i + 1).map(|t| t.ident().to_string());
+                match (name, find_punct(tokens, i, end, "{")) {
+                    (Some(name), Some(open)) if !name.is_empty() => {
+                        match match_brace(tokens, open, end) {
+                            Some(close) => {
+                                parse_block(tokens, open + 1, close, Some(&name), None, out);
+                                i = close + 1;
+                            }
+                            None => i += 1,
+                        }
+                    }
+                    _ => i += 1,
+                }
+            }
+            "mod" => {
+                // `mod name { … }` keeps the enclosing context; `mod name;`
+                // is skipped.
+                match find_punct_or_semi(tokens, i, end) {
+                    Some((open, true)) => match match_brace(tokens, open, end) {
+                        Some(close) => {
+                            parse_block(tokens, open + 1, close, self_type, trait_name, out);
+                            i = close + 1;
+                        }
+                        None => i += 1,
+                    },
+                    _ => i += 1,
+                }
+            }
+            "fn" if is_fn_item_position(tokens, i) => {
+                match parse_fn(tokens, i, end, self_type, trait_name) {
+                    Some((item, next)) => {
+                        let body = item.body;
+                        out.push(item);
+                        // Nested named fns are free functions of the
+                        // enclosing module, not methods.
+                        if let Some((open, close)) = body {
+                            parse_block(tokens, open + 1, close, None, None, out);
+                        }
+                        i = next;
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+struct ImplHeader {
+    self_type: Option<String>,
+    trait_name: Option<String>,
+    body_open: usize,
+    body_close: usize,
+}
+
+/// Parses `impl … {`: handles `impl Type`, `impl<T> Type<T>`,
+/// `impl Trait for Type`, and `where` clauses. The self type is the last
+/// plain path segment before generics; the trait (when present) likewise.
+fn parse_impl_header(tokens: &[Token], i: usize, end: usize) -> Option<ImplHeader> {
+    let mut j = i + 1;
+    // Skip impl generics `<…>`.
+    if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(tokens, j, end)?;
+    }
+    // Collect path segments until `for`, `where`, or `{`.
+    let mut first_path: Vec<String> = Vec::new();
+    let mut second_path: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    let mut angle = 0usize;
+    while j < end {
+        let t = &tokens[j];
+        if angle == 0 && t.is_punct("{") {
+            let close = match_brace(tokens, j, end)?;
+            let (trait_name, self_type) = if saw_for {
+                (first_path.last().cloned(), second_path.last().cloned())
+            } else {
+                (None, first_path.last().cloned())
+            };
+            return Some(ImplHeader {
+                self_type,
+                trait_name,
+                body_open: j,
+                body_close: close,
+            });
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = angle.saturating_sub(1);
+        } else if angle == 0 && t.ident() == "where" {
+            // `where` bounds carry no braces before the body; idents inside
+            // them must not contaminate the paths.
+            while j < end && !tokens[j].is_punct("{") {
+                j += 1;
+            }
+            continue;
+        } else if angle == 0 && t.ident() == "for" && !next_is(tokens, j, "<") {
+            saw_for = true;
+        } else if angle == 0 && !t.ident().is_empty() && t.ident() != "dyn" {
+            if saw_for {
+                second_path.push(t.ident().to_string());
+            } else {
+                first_path.push(t.ident().to_string());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the `fn` at `i` declares an item (not a `fn(...)` pointer
+/// type): pointer types are preceded by type-position punctuation.
+fn is_fn_item_position(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = &tokens[i - 1];
+    if prev.ident() == "dyn" {
+        return false;
+    }
+    !(prev.is_punct("&")
+        || prev.is_punct("(")
+        || prev.is_punct("<")
+        || prev.is_punct(",")
+        || prev.is_punct(":")
+        || prev.is_punct("=")
+        || prev.is_punct("|")
+        || prev.is_punct("->"))
+}
+
+/// Parses one `fn` item starting at the `fn` keyword. Returns the item and
+/// the index to resume scanning at (past the body or the `;`).
+fn parse_fn(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    self_type: Option<&str>,
+    trait_name: Option<&str>,
+) -> Option<(FnItem, usize)> {
+    let name_tok = tokens.get(i + 1)?;
+    let name = name_tok.ident().to_string();
+    if name.is_empty() {
+        return None;
+    }
+    let mut j = i + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(tokens, j, end)?;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let params_close = match_group(tokens, j, end, "(", ")")?;
+    let params = parse_params(&tokens[j + 1..params_close]);
+    // Skip the return type and any where clause to the body or `;`.
+    let mut k = params_close + 1;
+    let mut angle = 0usize;
+    while k < end {
+        let t = &tokens[k];
+        if angle == 0 && (t.is_punct("{") || t.is_punct(";")) {
+            break;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = angle.saturating_sub(1);
+        }
+        k += 1;
+    }
+    let (body, next) = if tokens.get(k).is_some_and(|t| t.is_punct("{")) {
+        let close = match_brace(tokens, k, end)?;
+        (Some((k, close)), close + 1)
+    } else {
+        (None, (k + 1).min(end))
+    };
+    let item = FnItem {
+        name,
+        self_type: self_type.map(str::to_string),
+        trait_name: trait_name.map(str::to_string),
+        is_pub: leading_pub(tokens, i),
+        is_test: tokens[i].in_test,
+        is_hot: false,
+        line: tokens[i].line,
+        params,
+        body,
+    };
+    Some((item, next))
+}
+
+/// Splits a parameter-list token slice at top-level commas and extracts
+/// (name, type head) per parameter. The `self` receiver is dropped.
+fn parse_params(tokens: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth_paren = 0i32;
+    let mut depth_bracket = 0i32;
+    let mut depth_angle = 0i32;
+    let mut seg_start = 0usize;
+    let mut segments: Vec<&[Token]> = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        if t.is_punct("(") {
+            depth_paren += 1;
+        } else if t.is_punct(")") {
+            depth_paren -= 1;
+        } else if t.is_punct("[") {
+            depth_bracket += 1;
+        } else if t.is_punct("]") {
+            depth_bracket -= 1;
+        } else if t.is_punct("<") {
+            depth_angle += 1;
+        } else if t.is_punct(">") {
+            depth_angle -= 1;
+        } else if t.is_punct(",") && depth_paren == 0 && depth_bracket == 0 && depth_angle <= 0 {
+            segments.push(&tokens[seg_start..idx]);
+            seg_start = idx + 1;
+        }
+    }
+    if seg_start < tokens.len() {
+        segments.push(&tokens[seg_start..]);
+    }
+    for seg in segments {
+        if seg.iter().any(|t| t.ident() == "self") {
+            continue; // the receiver
+        }
+        // The binding name is the last ident before the top-level `:`.
+        let mut colon = None;
+        let mut depth = 0i32;
+        for (idx, t) in seg.iter().enumerate() {
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct(":") && depth == 0 {
+                colon = Some(idx);
+                break;
+            }
+        }
+        let Some(colon) = colon else { continue };
+        let Some(name_tok) = seg[..colon].iter().rev().find(|t| !t.ident().is_empty()) else {
+            continue;
+        };
+        // Strip `&`/`mut` from the type; a raw float is a lone f64/f32.
+        let ty: Vec<&Token> = seg[colon + 1..]
+            .iter()
+            .filter(|t| !(t.is_punct("&") || t.ident() == "mut"))
+            .collect();
+        let ty_name = ty
+            .iter()
+            .find(|t| !t.ident().is_empty())
+            .map(|t| t.ident().to_string())
+            .unwrap_or_default();
+        let is_raw_float = ty.len() == 1 && matches!(ty_name.as_str(), "f64" | "f32");
+        params.push(Param {
+            name: name_tok.ident().to_string(),
+            line: name_tok.line,
+            is_raw_float,
+            ty_name,
+        });
+    }
+    params
+}
+
+/// True when the tokens immediately before the `fn` keyword include `pub`
+/// (with any qualifier: `pub(crate)`, `pub(in …)`), skipping `const`,
+/// `async`, `unsafe`, `extern "C"`, and `default`.
+fn leading_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        match t.ident() {
+            "const" | "async" | "unsafe" | "extern" | "default" => continue,
+            "pub" => return true,
+            _ => {}
+        }
+        if matches!(t.kind, crate::lexer::TokenKind::Literal) {
+            continue; // the ABI string of `extern "C"`
+        }
+        if t.is_punct(")") {
+            // `pub(crate)` / `pub(in path)`: walk back to the `(` and keep
+            // looking for the `pub`.
+            while j > 0 && !tokens[j].is_punct("(") {
+                j -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+fn attach_hot_markers(items: &mut [FnItem], markers: &[usize]) {
+    for &marker in markers {
+        if let Some(item) = items.iter_mut().find(|item| item.line >= marker) {
+            item.is_hot = true;
+        }
+    }
+}
+
+fn next_is(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(p))
+}
+
+fn find_punct(tokens: &[Token], from: usize, end: usize, p: &str) -> Option<usize> {
+    (from..end).find(|&k| tokens[k].is_punct(p))
+}
+
+/// Finds the first `{` or `;` after `from`; the bool is true for `{`.
+fn find_punct_or_semi(tokens: &[Token], from: usize, end: usize) -> Option<(usize, bool)> {
+    (from..end).find_map(|k| {
+        if tokens[k].is_punct("{") {
+            Some((k, true))
+        } else if tokens[k].is_punct(";") {
+            Some((k, false))
+        } else {
+            None
+        }
+    })
+}
+
+/// Matches the `{` at `open` to its closing `}`.
+pub fn match_brace(tokens: &[Token], open: usize, end: usize) -> Option<usize> {
+    match_group(tokens, open, end, "{", "}")
+}
+
+fn match_group(tokens: &[Token], open: usize, end: usize, o: &str, c: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in open..end {
+        if tokens[k].is_punct(o) {
+            depth += 1;
+        } else if tokens[k].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Skips a matched `<…>` starting at `open`; returns the index after `>`.
+fn skip_angles(tokens: &[Token], open: usize, end: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in open..end {
+        if tokens[k].is_punct("<") {
+            depth += 1;
+        } else if tokens[k].is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn free_and_method_fns_are_qualified() {
+        let src = r#"
+            pub fn free(x: u32) -> u32 { x }
+            struct Calendar;
+            impl Calendar {
+                pub fn push(&mut self, t: f64) {}
+                fn pop(&mut self) -> Option<f64> { None }
+            }
+            impl std::fmt::Display for Calendar {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { write!(f, "") }
+            }
+        "#;
+        let items = parse(src);
+        let quals: Vec<String> = items.iter().map(|i| i.qualified()).collect();
+        assert_eq!(
+            quals,
+            vec!["free", "Calendar::push", "Calendar::pop", "Calendar::fmt"]
+        );
+        assert_eq!(items[3].trait_name.as_deref(), Some("Display"));
+        assert!(items[0].is_pub && items[1].is_pub && !items[2].is_pub);
+    }
+
+    #[test]
+    fn generics_where_clauses_and_nested_fns_parse() {
+        let src = r#"
+            impl<R: Recorder> Run<'_, R> {
+                pub(crate) fn execute<T>(&mut self, x: Vec<(usize, f64)>) -> Result<T, E>
+                where
+                    T: Default,
+                {
+                    fn inner(y: f64) -> f64 { y }
+                    inner(1.0)
+                }
+            }
+        "#;
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].qualified(), "Run::execute");
+        assert!(items[0].is_pub);
+        assert_eq!(items[0].params.len(), 1);
+        assert_eq!(items[0].params[0].name, "x");
+        assert!(!items[0].params[0].is_raw_float);
+        assert_eq!(items[1].qualified(), "inner");
+        assert!(items[1].params[0].is_raw_float);
+    }
+
+    #[test]
+    fn params_classify_raw_floats() {
+        let items = parse("pub fn f(energy: f64, scale: &f64, count: usize, t: Time) {}");
+        let raw: Vec<bool> = items[0].params.iter().map(|p| p.is_raw_float).collect();
+        assert_eq!(raw, vec![true, true, false, false]);
+        assert_eq!(items[0].params[3].ty_name, "Time");
+    }
+
+    #[test]
+    fn hot_markers_attach_to_the_next_fn() {
+        let src = "// lint:hot\nfn a() {}\nfn b() {}\n// lint:hot\nfn c() {}\n";
+        let items = parse(src);
+        let hot: Vec<bool> = items.iter().map(|i| i.is_hot).collect();
+        assert_eq!(hot, vec![true, false, true]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let items = parse("struct S { cb: fn(u32) -> u32 }\ntype F = fn();\nfn real() {}");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_parse() {
+        let src = r#"
+            pub trait Backend {
+                fn evaluate(&self, model: &Model) -> Result<Report, EvalError>;
+                fn label(&self) -> String { String::new() }
+            }
+        "#;
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].qualified(), "Backend::evaluate");
+        assert!(items[0].body.is_none());
+        assert!(items[1].body.is_some());
+    }
+}

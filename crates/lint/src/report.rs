@@ -1,0 +1,142 @@
+//! Deterministic machine-readable report rendering (`--json`).
+//!
+//! Hand-rolled like everything else in this crate: fixed key order,
+//! sorted arrays (the driver sorts before rendering), no timestamps, no
+//! floats — byte-identical across runs by construction, so `verify.sh`
+//! can diff two runs the way the golden studies are pinned.
+
+use crate::{LintReport, StaleSuppression};
+use std::fmt::Write as _;
+
+/// Renders the report as a stable JSON document (trailing newline).
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"timely-lint-report-v1\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+
+    out.push_str("  \"violations\": [");
+    for (i, (path, finding)) in report.violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(path),
+            finding.line,
+            json_string(finding.rule),
+            json_string(&finding.message)
+        );
+    }
+    out.push_str(if report.violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    let inline = report
+        .suppressed
+        .iter()
+        .filter(|s| s.via == "inline")
+        .count();
+    let _ = writeln!(
+        out,
+        "  \"suppressed\": {{\"total\": {}, \"inline\": {}, \"allowlist\": {}}},",
+        report.suppressed.len(),
+        inline,
+        report.suppressed.len() - inline
+    );
+
+    out.push_str("  \"stale\": [");
+    for (i, stale) in report.stale.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(out, "    {}", stale_json(stale));
+    }
+    out.push_str(if report.stale.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    match report.budget {
+        Some(budget) => {
+            let _ = writeln!(
+                out,
+                "  \"budget\": {{\"suppressions\": {budget}, \"used\": {}}},",
+                report.suppressed.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"budget\": null,");
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "  \"callgraph\": {{\"nodes\": {}, \"edges\": {}, \"panic_sites\": {}, \"entry_points\": [{}]}}",
+        report.graph.nodes,
+        report.graph.edges,
+        report.graph.panic_sites,
+        report
+            .graph
+            .entry_points
+            .iter()
+            .map(|e| json_string(e))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn stale_json(stale: &StaleSuppression) -> String {
+    format!(
+        "{{\"via\": {}, \"path\": {}, \"line\": {}, \"rule\": {}}}",
+        json_string(stale.via),
+        json_string(&stale.path),
+        stale.line,
+        json_string(&stale.rule)
+    )
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_stable_json() {
+        let report = LintReport::default();
+        let a = render_json(&report);
+        let b = render_json(&report);
+        assert_eq!(a, b);
+        assert!(a.contains("\"violations\": []"));
+        assert!(a.contains("\"budget\": null"));
+        assert!(a.ends_with("}\n"));
+    }
+}

@@ -4,7 +4,9 @@
 //! applied by the driver in `lib.rs`.
 
 use crate::config::LintConfig;
+use crate::items::FnItem;
 use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::parser;
 
 /// One rule violation, before suppression filtering.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -45,6 +47,18 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "float-eq",
         "no ==/!= against float literals in non-test code (use .to_bits() for bitwise checks or an epsilon)",
+    ),
+    (
+        "panic-reachability",
+        "no panic site (unwrap/expect/panic!/...) may be reachable on the workspace call graph from a configured entry point (entry-points in lint.toml; suppressions do not hide sites from the walk)",
+    ),
+    (
+        "no-alloc-in-hot-loop",
+        "no Vec::new/vec![]/collect/to_vec/clone/format!/Box::new inside loop bodies of functions marked // lint:hot (hoist buffers out of the loop and reuse them)",
+    ),
+    (
+        "unit-suffix-params",
+        "raw f64/f32 parameters of pub fns naming a physical quantity must carry a canonical unit suffix, same discipline as unit-suffix for fields/returns",
     ),
 ];
 
@@ -111,6 +125,7 @@ const UNIT_TOKENS: &[&str] = &[
     "siemens",
     "farads",
     "femtofarads",
+    "coulombs",
     "millimeters",
     "microns",
     "lsb",
@@ -124,10 +139,7 @@ const UNIT_TOKENS: &[&str] = &[
 /// Runs every rule over one lexed file. `path` is workspace-relative with
 /// forward slashes; scoping decisions use it via `config.rule_applies`.
 pub fn check_file(path: &str, file: &LexedFile, config: &LintConfig) -> Vec<Finding> {
-    // Files under tests/, benches/, or examples/ are test code wholesale.
-    let file_is_test = path.split('/').any(|part| {
-        part == "tests" || part == "benches" || part == "examples" || part == "fixtures"
-    });
+    let file_is_test = path_is_test(path);
     let mut findings = Vec::new();
     let tokens = &file.tokens;
 
@@ -141,26 +153,20 @@ pub fn check_file(path: &str, file: &LexedFile, config: &LintConfig) -> Vec<Find
 
         // -------- panic --------
         if config.rule_applies("panic", path) && in_prod(token) {
-            let panicky_call = matches!(name, "unwrap" | "expect" | "unwrap_err" | "expect_err")
-                && prev_is(tokens, i, ".")
-                && next_is(tokens, i, "(");
-            if panicky_call {
-                findings.push(Finding {
+            match panic_pattern(tokens, i) {
+                Some(what) if what.ends_with("()") => findings.push(Finding {
                     line: token.line,
                     rule: "panic",
-                    message: format!("`.{name}()` in non-test code"),
+                    message: format!("`{what}` in non-test code"),
                     hint: "propagate the error instead: return Result and use `?` (EvalError/ArchError/NnError), or handle the None/Err arm explicitly".to_string(),
-                });
-            }
-            let panicky_macro = matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
-                && next_is(tokens, i, "!");
-            if panicky_macro {
-                findings.push(Finding {
+                }),
+                Some(what) => findings.push(Finding {
                     line: token.line,
                     rule: "panic",
-                    message: format!("`{name}!` in non-test code"),
+                    message: format!("`{what}` in non-test code"),
                     hint: "return a structured error (EvalError::Unsupported for \"can't happen for this input\" cases) instead of aborting".to_string(),
-                });
+                }),
+                None => {}
             }
         }
 
@@ -243,6 +249,182 @@ pub fn check_file(path: &str, file: &LexedFile, config: &LintConfig) -> Vec<Find
         }
     }
 
+    findings
+}
+
+/// Files under tests/, benches/, examples/, or fixtures/ are test code
+/// wholesale.
+pub fn path_is_test(path: &str) -> bool {
+    path.split('/').any(|part| {
+        part == "tests" || part == "benches" || part == "examples" || part == "fixtures"
+    })
+}
+
+/// Recognizes a panic-capable pattern at token `i`: `.unwrap()`-family
+/// calls and `panic!`-family macros. Returns the display form. Shared by
+/// the `panic` rule and the call graph's panic-site collection (which is
+/// the point of `panic-reachability`: suppressed sites still count).
+pub fn panic_pattern(tokens: &[Token], i: usize) -> Option<String> {
+    let name = tokens[i].ident();
+    if matches!(name, "unwrap" | "expect" | "unwrap_err" | "expect_err")
+        && prev_is(tokens, i, ".")
+        && next_is(tokens, i, "(")
+    {
+        return Some(format!(".{name}()"));
+    }
+    if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") && next_is(tokens, i, "!")
+    {
+        return Some(format!("{name}!"));
+    }
+    None
+}
+
+/// The allocation patterns `no-alloc-in-hot-loop` flags (the ISSUE's list).
+const HOT_LOOP_ALLOCS: &[&str] = &["collect", "to_vec", "clone"];
+
+/// Item-level rules over one file: `no-alloc-in-hot-loop` and
+/// `unit-suffix-params`. (`panic-reachability` is workspace-level and runs
+/// on the call graph in `lib.rs`.)
+pub fn check_items(
+    path: &str,
+    file: &LexedFile,
+    items: &[FnItem],
+    config: &LintConfig,
+) -> Vec<Finding> {
+    let file_is_test = path_is_test(path);
+    let mut findings = Vec::new();
+    if file_is_test {
+        return findings;
+    }
+    let tokens = &file.tokens;
+
+    if config.rule_applies("no-alloc-in-hot-loop", path) {
+        for item in items.iter().filter(|item| item.is_hot && !item.is_test) {
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            for (lo, hi) in loop_bodies(tokens, open + 1, close) {
+                findings.extend(check_loop_allocs(tokens, lo, hi, &item.name));
+            }
+        }
+    }
+
+    if config.rule_applies("unit-suffix-params", path) {
+        let quantity_words = list_or_default(config, "unit-suffix-params", "quantity-words");
+        let unit_tokens = list_or_default(config, "unit-suffix-params", "unit-tokens");
+        for item in items.iter().filter(|item| item.is_pub && !item.is_test) {
+            for param in item.params.iter().filter(|p| p.is_raw_float) {
+                let components: Vec<&str> =
+                    param.name.split('_').filter(|c| !c.is_empty()).collect();
+                let names_quantity = components
+                    .iter()
+                    .any(|c| quantity_words.iter().any(|q| q == c));
+                let has_unit = components
+                    .iter()
+                    .any(|c| unit_tokens.iter().any(|u| u == c));
+                if names_quantity && !has_unit {
+                    findings.push(Finding {
+                        line: param.line,
+                        rule: "unit-suffix-params",
+                        message: format!(
+                            "parameter `{}` of pub fn `{}` is a raw {} naming a physical quantity but carries no unit",
+                            param.name, item.name, param.ty_name
+                        ),
+                        hint: format!(
+                            "rename to `{}_s`/`{}_mj`/... so the call site reads the unit, or take a typed unit newtype",
+                            param.name, param.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+/// The configured list for `rule`, falling back to the base `unit-suffix`
+/// lists and then the built-in defaults — so the two unit rules share one
+/// vocabulary unless overridden.
+fn list_or_default(config: &LintConfig, rule: &str, key: &str) -> Vec<String> {
+    config
+        .rule_list(rule, key)
+        .or_else(|| config.rule_list("unit-suffix", key))
+        .map(<[String]>::to_vec)
+        .unwrap_or_else(|| {
+            let defaults = if key == "quantity-words" {
+                QUANTITY_WORDS
+            } else {
+                UNIT_TOKENS
+            };
+            defaults.iter().map(|s| s.to_string()).collect()
+        })
+}
+
+/// Finds the outermost loop-body token ranges (exclusive of braces) in
+/// `tokens[start..end)`: `for … { }`, `while … { }`, `loop { }`. Inner
+/// loops sit inside the returned ranges, so scanning each range once
+/// covers every nesting level exactly once.
+fn loop_bodies(tokens: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = start;
+    while i < end {
+        let is_loop_kw = match tokens[i].ident() {
+            "while" | "loop" => true,
+            // `for<'a>` higher-ranked bounds are not loops.
+            "for" => !next_is(tokens, i, "<"),
+            _ => false,
+        };
+        if is_loop_kw {
+            if let Some(open) = (i + 1..end).find(|&k| tokens[k].is_punct("{")) {
+                if let Some(close) = parser::match_brace(tokens, open, end) {
+                    ranges.push((open + 1, close));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Flags allocation patterns in one loop-body range.
+fn check_loop_allocs(tokens: &[Token], start: usize, end: usize, fn_name: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |line: usize, what: &str| {
+        findings.push(Finding {
+            line,
+            rule: "no-alloc-in-hot-loop",
+            message: format!("`{what}` inside a loop body of `// lint:hot` fn `{fn_name}`"),
+            hint: "hoist the allocation out of the loop (reusable scratch buffer) or drop the `lint:hot` marker if this path is genuinely cold".to_string(),
+        });
+    };
+    for i in start..end {
+        let t = &tokens[i];
+        if t.in_test {
+            continue;
+        }
+        let name = t.ident();
+        match name {
+            "Vec" | "Box" if next_is(tokens, i, "::") => {
+                if tokens.get(i + 2).map(|t| t.ident()) == Some("new") {
+                    push(t.line, &format!("{name}::new"));
+                }
+            }
+            "vec" | "format" if next_is(tokens, i, "!") => {
+                push(t.line, &format!("{name}!"));
+            }
+            _ if HOT_LOOP_ALLOCS.contains(&name) && prev_is(tokens, i, ".") => {
+                // `.collect(` / `.collect::<T>(` / `.to_vec(` / `.clone(`.
+                let calls = next_is(tokens, i, "(") || next_is(tokens, i, "::");
+                if calls {
+                    push(t.line, &format!(".{name}()"));
+                }
+            }
+            _ => {}
+        }
+    }
     findings
 }
 
@@ -519,6 +701,50 @@ mod tests {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         let findings = check_file("crates/x/tests/it.rs", &lex(src), &LintConfig::default());
         assert!(findings.is_empty());
+    }
+
+    fn run_items(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let items = crate::parser::parse_items(&lexed);
+        check_items(
+            "crates/x/src/lib.rs",
+            &lexed,
+            &items,
+            &LintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn hot_loop_allocs_fire_only_in_hot_fn_loops() {
+        let src = r#"
+            // lint:hot
+            fn hot(xs: &[u32]) {
+                let outside = Vec::new();
+                for x in xs {
+                    let v: Vec<u32> = xs.iter().copied().collect();
+                    let w = x.clone();
+                }
+            }
+            fn cold(xs: &[u32]) {
+                for x in xs {
+                    let v = vec![*x];
+                }
+            }
+        "#;
+        let findings = run_items(src);
+        assert_eq!(rules_of(&findings), vec!["no-alloc-in-hot-loop"; 2]);
+        assert!(findings[0].message.contains("`hot`"));
+    }
+
+    #[test]
+    fn unit_suffix_params_fires_on_bare_pub_float_params() {
+        let src = r#"
+            pub fn f(energy: f64, latency_ms: f64, count: usize, interval: Time) {}
+            fn private(energy: f64) {}
+        "#;
+        let findings = run_items(src);
+        assert_eq!(rules_of(&findings), vec!["unit-suffix-params"]);
+        assert!(findings[0].message.contains("`energy`"));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Call-graph integration tests: pinned node/edge counts over the
+//! reachability fixture pair, and entry-resolution checks the unit tests in
+//! `callgraph.rs` do not cover. A parser or resolver regression that adds
+//! or drops symbols shows up here as an exact-count mismatch.
+
+use std::path::PathBuf;
+use timely_lint::callgraph::{CallGraph, SourceFile};
+use timely_lint::{lexer, parser};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn fixture_graph() -> CallGraph {
+    let sources = [
+        ("crates/demo/src/reach_entry.rs", fixture("reach_entry.rs")),
+        ("crates/demo/src/reach_chain.rs", fixture("reach_chain.rs")),
+    ];
+    let lexed: Vec<(&str, lexer::LexedFile)> =
+        sources.iter().map(|(p, s)| (*p, lexer::lex(s))).collect();
+    let parsed: Vec<Vec<timely_lint::items::FnItem>> =
+        lexed.iter().map(|(_, l)| parser::parse_items(l)).collect();
+    let files: Vec<SourceFile> = lexed
+        .iter()
+        .zip(parsed.iter())
+        .map(|((p, l), items)| SourceFile {
+            path: p,
+            lexed: l,
+            items,
+        })
+        .collect();
+    CallGraph::build(&files)
+}
+
+#[test]
+fn fixture_graph_has_pinned_nodes_and_edges() {
+    let graph = fixture_graph();
+    // Gate::open, Gate::close, step_one, step_two, orphan.
+    assert_eq!(graph.symbols.symbols.len(), 5);
+    // open -> step_one, step_one -> step_two. `Some(..)`/`unwrap` resolve to
+    // nothing in-workspace, so no other edges exist.
+    assert_eq!(graph.edge_count(), 2);
+    // step_two's unwrap + orphan's expect.
+    assert_eq!(graph.panic_site_count(), 2);
+}
+
+#[test]
+fn entries_resolve_by_qualified_and_simple_name() {
+    let graph = fixture_graph();
+    assert_eq!(graph.symbols.resolve_entry("Gate::open").len(), 1);
+    assert_eq!(graph.symbols.resolve_entry("step_one").len(), 1);
+    assert!(graph.symbols.resolve_entry("Gate::missing").is_empty());
+    assert!(graph.symbols.resolve_entry("no_such_fn").is_empty());
+}
+
+#[test]
+fn reachability_claims_each_site_once_across_entries() {
+    let graph = fixture_graph();
+    // Both entries reach step_two; the site is attributed to the first.
+    let sites = graph.reachable_panic_sites(&["Gate::open".to_string(), "step_one".to_string()]);
+    assert_eq!(sites.len(), 1);
+    assert_eq!(sites[0].entry, "Gate::open");
+    // Entry order flips attribution deterministically.
+    let flipped = graph.reachable_panic_sites(&["step_one".to_string(), "Gate::open".to_string()]);
+    assert_eq!(flipped.len(), 1);
+    assert_eq!(flipped[0].entry, "step_one");
+    assert_eq!(
+        graph.chain_display(&flipped[0].chain),
+        "step_one -> step_two"
+    );
+}

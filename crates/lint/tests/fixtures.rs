@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use timely_lint::{config, lint_source, LintReport};
+use timely_lint::{config, lint_source, lint_sources, LintReport};
 
 fn fixture(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -178,6 +178,93 @@ fn committed_wall_clock_allow_is_scoped_to_the_obs_profiler() {
         "violations: {:?}",
         elsewhere.violations
     );
+}
+
+#[test]
+fn reach_fixture_reports_the_cross_file_chain() {
+    // Configure the entry point the same way the workspace lint.toml does.
+    let cfg = config::parse(
+        "[rules.panic-reachability]\nentry-points = [\"Gate::open\"]\n[rules.panic]\ninclude = [\"crates\"]\n",
+    )
+    .expect("inline config parses");
+    let report = lint_sources(
+        &[
+            (
+                "crates/demo/src/reach_entry.rs".to_string(),
+                fixture("reach_entry.rs"),
+            ),
+            (
+                "crates/demo/src/reach_chain.rs".to_string(),
+                fixture("reach_chain.rs"),
+            ),
+        ],
+        &cfg,
+    );
+    let counts = count_by_rule(&report);
+    // One reachable site (step_two's unwrap); orphan's expect never fires
+    // panic-reachability but both fire the per-file panic rule.
+    assert_eq!(
+        counts.get("panic-reachability"),
+        Some(&1),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.get("panic"), Some(&2));
+    let message = &report
+        .violations
+        .iter()
+        .find(|(_, f)| f.rule == "panic-reachability")
+        .expect("reachability finding present")
+        .1
+        .message;
+    assert!(
+        message.contains("Gate::open -> step_one -> step_two"),
+        "chain missing from message: {message}"
+    );
+    assert_eq!(report.graph.entry_points, vec!["Gate::open".to_string()]);
+}
+
+#[test]
+fn hot_loop_fixture_fires_only_inside_marked_loops() {
+    let report = lint_fixture("hot_loop_alloc.rs", &config::LintConfig::default());
+    let counts = count_by_rule(&report);
+    // Vec::new + format! + .clone() in the marked fn; the unmarked twin and
+    // the clean hot loop stay silent.
+    assert_eq!(
+        counts.get("no-alloc-in-hot-loop"),
+        Some(&3),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+}
+
+#[test]
+fn unit_param_fixture_fires_on_bare_quantity_params() {
+    let report = lint_fixture("unit_param_violation.rs", &config::LintConfig::default());
+    let counts = count_by_rule(&report);
+    // `latency: f64` and `charge: f32`; suffixed, typed, private, and
+    // test-mod parameters stay silent.
+    assert_eq!(
+        counts.get("unit-suffix-params"),
+        Some(&2),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+    let messages: Vec<&str> = report
+        .violations
+        .iter()
+        .map(|(_, f)| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("`latency`")));
+    assert!(messages.iter().any(|m| m.contains("`charge`")));
+}
+
+#[test]
+fn clean_fixture_hot_loop_and_suffixed_params_stay_silent() {
+    let report = lint_fixture("clean.rs", &config::LintConfig::default());
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
 }
 
 #[test]

@@ -29,6 +29,21 @@ pub fn bitwise_equal(a: f64, b: f64) -> bool {
     a.to_bits() == b.to_bits()
 }
 
+/// Raw-float parameters carry unit components, so `unit-suffix-params`
+/// stays silent.
+pub fn accumulate(energy_mj: f64, duration_s: f64) -> f64 {
+    energy_mj / duration_s
+}
+
+// lint:hot clean hot loop: scans without allocating
+pub fn hot_scan(samples: &[f64]) -> f64 {
+    let mut peak = 0.0f64;
+    for &s in samples {
+        peak = peak.max(s);
+    }
+    peak
+}
+
 pub fn timed_probe() -> u128 {
     // This fixture's designated measurement point. lint:allow(wall-clock)
     let start = Instant::now();

@@ -1,0 +1,38 @@
+//! Hot-loop allocation fixture: the `lint:hot`-marked function allocates
+//! inside its loops (three violations — `Vec::new`, `format!`, `.clone()`),
+//! while the unmarked twin below does the same and stays silent, and the
+//! marked-but-clean function loops without allocating.
+//! (Fixture — never compiled.)
+
+// lint:hot the fixture's designated hot path
+pub fn hot_with_allocs(items: &[String]) -> usize {
+    let mut total = 0;
+    for item in items {
+        let mut scratch = Vec::new();
+        scratch.push(format!("{item}!"));
+        let copy = item.clone();
+        total += copy.len() + scratch.len();
+    }
+    total
+}
+
+pub fn cold_with_allocs(items: &[String]) -> usize {
+    let mut total = 0;
+    for item in items {
+        let copy = item.clone();
+        total += copy.len();
+    }
+    total
+}
+
+// lint:hot marked but allocation-free: reuses the caller's buffer
+pub fn hot_and_clean(items: &[u64], scratch: &mut Vec<u64>) -> u64 {
+    let mut best = 0;
+    while let Some(v) = scratch.pop() {
+        best = best.max(v);
+    }
+    for &v in items {
+        best = best.max(v);
+    }
+    best
+}

@@ -1,0 +1,18 @@
+//! Panic-reachability fixture, file 2 of 2: the middle and the end of the
+//! chain. `step_two`'s `.unwrap()` is the reachable panic site; `orphan`'s
+//! `.expect()` is a panic site no entry point reaches (it still fires the
+//! per-file `panic` rule, but never `panic-reachability`).
+//! (Fixture — never compiled.)
+
+pub fn step_one(x: u32) -> u32 {
+    step_two(x)
+}
+
+fn step_two(x: u32) -> u32 {
+    Some(x).unwrap()
+}
+
+/// Unreachable from `Gate::open`: nothing calls this.
+pub fn orphan() -> u32 {
+    Some(7).expect("never reached from the entry")
+}

@@ -1,0 +1,17 @@
+//! Panic-reachability fixture, file 1 of 2: the entry point. `Gate::open`
+//! calls the free function `step_one` defined in `reach_chain.rs`, whose
+//! callee `step_two` carries the panic site — the chain crosses a file
+//! boundary on purpose. (Fixture — never compiled.)
+
+pub struct Gate;
+
+impl Gate {
+    pub fn open(&self, x: u32) -> u32 {
+        step_one(x)
+    }
+
+    /// Not on any chain: a sibling method with no panicking callees.
+    pub fn close(&self) -> u32 {
+        0
+    }
+}

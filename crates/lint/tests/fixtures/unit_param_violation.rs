@@ -1,0 +1,33 @@
+//! Unit-suffix-params fixture: public functions taking raw floats named
+//! after physical quantities without a unit component. `latency` and
+//! `charge` fire; the suffixed, typed, private, and non-quantity parameters
+//! stay silent. (Fixture — never compiled.)
+
+pub struct Time(f64);
+
+pub fn enqueue(latency: f64, budget_s: f64) -> f64 {
+    latency + budget_s
+}
+
+pub fn integrate(charge: f32, utilization: f64) -> f64 {
+    f64::from(charge) * utilization
+}
+
+pub fn typed_ok(interval: Time) -> f64 {
+    interval.0
+}
+
+fn private_ok(energy: f64) -> f64 {
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_fns_are_exempt() {
+        fn helper(duration: f64) -> f64 {
+            duration
+        }
+        assert!(helper(1.0) > 0.0);
+    }
+}

@@ -43,6 +43,83 @@ fn live_workspace_report_is_deterministic() {
 }
 
 #[test]
+fn live_call_graph_covers_the_workspace() {
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    let report = timely_lint::lint_workspace(&root, &config).expect("workspace lints");
+    // The parser resolved a meaningful graph, not an accidental empty walk:
+    // the workspace holds well over a thousand functions today, and the
+    // panic-reachability entry points are configured and resolving.
+    assert!(
+        report.graph.nodes >= 1200,
+        "only {} call-graph nodes — the item parser regressed",
+        report.graph.nodes
+    );
+    assert!(
+        report.graph.edges > report.graph.nodes,
+        "{} edges for {} nodes — call resolution regressed",
+        report.graph.edges,
+        report.graph.nodes
+    );
+    assert!(report.graph.panic_sites > 0);
+    assert_eq!(
+        report.graph.entry_points,
+        vec![
+            "Backend::evaluate".to_string(),
+            "ServingSimulator::run_scenario".to_string(),
+            "Explorer::run".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn live_workspace_has_no_stale_suppressions() {
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    let report = timely_lint::lint_workspace(&root, &config).expect("workspace lints");
+    assert!(
+        report.stale.is_empty(),
+        "stale suppressions:\n{}",
+        report.render_stale()
+    );
+}
+
+#[test]
+fn suppression_budget_is_exact() {
+    // The ratchet: the committed budget must equal today's suppression
+    // count, so it can only ever be lowered alongside real burn-down work.
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    let report = timely_lint::lint_workspace(&root, &config).expect("workspace lints");
+    let budget = config.budget.expect("lint.toml commits a [budget]");
+    assert_eq!(
+        report.suppressed.len(),
+        budget,
+        "suppressions ({}) drifted from the committed budget ({budget}) — \
+         burn down the new allow or (only with a matching burn-down) re-pin",
+        report.suppressed.len()
+    );
+    assert!(matches!(
+        report.budget_verdict(),
+        timely_lint::BudgetVerdict::Ok
+    ));
+}
+
+#[test]
+fn live_json_report_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let config = timely_lint::load_config(&root).expect("committed lint.toml loads");
+    let a = timely_lint::report::render_json(
+        &timely_lint::lint_workspace(&root, &config).expect("workspace lints"),
+    );
+    let b = timely_lint::report::render_json(
+        &timely_lint::lint_workspace(&root, &config).expect("workspace lints"),
+    );
+    assert_eq!(a, b);
+    assert!(a.starts_with("{\n  \"schema\": \"timely-lint-report-v1\""));
+}
+
+#[test]
 fn every_committed_allow_entry_names_a_real_file_and_rule() {
     // Allowlist hygiene: entries must point at files that exist (no stale
     // suppressions surviving refactors) and at rules the linter knows.

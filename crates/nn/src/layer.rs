@@ -411,8 +411,15 @@ impl Layer {
                         }
                     }
                 }
-                let (h, w) = spatial.expect("validated branch layers are non-empty");
-                Ok(FeatureMap::new(out_channels, h, w))
+                // A branch with zero sub-convolutions never leaves
+                // `Layer::validate`, but keep this path total: report it as
+                // an empty output instead of panicking.
+                match spatial {
+                    Some((h, w)) => Ok(FeatureMap::new(out_channels, h, w)),
+                    None => Err(NnError::EmptyOutput {
+                        layer: self.name.clone(),
+                    }),
+                }
             }
         }
     }

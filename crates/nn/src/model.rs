@@ -101,13 +101,14 @@ impl Model {
     ///
     /// # Errors
     ///
-    /// Propagates shape errors (see [`Model::layer_shapes`]).
+    /// Propagates shape errors (see [`Model::layer_shapes`]), and returns
+    /// [`NnError::EmptyModel`] for a layer-less model (impossible via
+    /// [`Model::new`], which validates eagerly).
     pub fn output_shape(&self) -> Result<FeatureMap, NnError> {
-        Ok(self
-            .layer_shapes()?
-            .last()
-            .expect("validated models are non-empty")
-            .2)
+        match self.layer_shapes()?.last() {
+            Some(&(_, _, out)) => Ok(out),
+            None => Err(NnError::EmptyModel),
+        }
     }
 
     /// Total number of multiply-accumulate operations for one inference.

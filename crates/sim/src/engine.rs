@@ -285,7 +285,8 @@ impl ServingSimulator {
             config.duration_s > 0.0 && config.duration_s.is_finite(),
             "duration must be > 0"
         );
-        config.policy.validate();
+        // Policy parameters are validated at run time (`Policy::check` in
+        // `run_scenario_recorded`), where the error has a `Result` channel.
         // The profile matrix is the single source of truth for the fleet
         // size; keep the stored config consistent with it (Run sizes its
         // per-chip state from config.chips).
@@ -345,7 +346,9 @@ impl ServingSimulator {
     /// # Panics
     ///
     /// Panics if the traffic mix references a model index outside the fleet's
-    /// model list, or if the arrival process parameters are invalid.
+    /// model list, or if the arrival process or dispatch policy parameters
+    /// are invalid ([`ServingSimulator::run_scenario`] is the panic-free
+    /// form).
     pub fn run(&self, traffic: &TrafficSpec) -> SimReport {
         self.run_recorded(traffic, &mut NoopRecorder)
     }
@@ -367,6 +370,8 @@ impl ServingSimulator {
     pub fn run_recorded<R: Recorder>(&self, traffic: &TrafficSpec, recorder: &mut R) -> SimReport {
         match self.run_scenario_recorded(traffic, &Scenario::default(), recorder) {
             Ok(report) => report,
+            // Documented contract of the infallible entry points;
+            // run_scenario is the Result form. lint:allow(panic)
             Err(err) => panic!("{err}"),
         }
     }
@@ -413,6 +418,7 @@ impl ServingSimulator {
         recorder: &mut R,
     ) -> Result<SimReport, SimError> {
         traffic.process.check()?;
+        self.config.policy.check()?;
         let models = self.chip_profiles[0].len();
         if traffic.mix.max_model_index() >= models {
             return Err(SimError::InvalidTraffic(format!(
@@ -556,6 +562,7 @@ impl<'a, R: Recorder> Run<'a, R> {
         }
     }
 
+    // lint:hot the event loop: every simulated event dispatches through here
     fn execute(mut self) -> SimReport {
         self.seed_arrivals();
         self.seed_faults();
@@ -589,35 +596,31 @@ impl<'a, R: Recorder> Run<'a, R> {
 
     /// Schedules the first arrival(s) of the traffic process.
     fn seed_arrivals(&mut self) {
-        match self.traffic.process {
-            ArrivalProcess::Poisson { .. } | ArrivalProcess::Bursty { .. } => {
-                let t = self
-                    .open_source
-                    .as_mut()
-                    .expect("open-loop process has a source")
-                    .next_arrival(0.0, &mut self.rng);
+        // `open_source` is `Some` exactly when the process is open-loop
+        // (`OpenLoopSource::new` returns `None` only for closed loop), so
+        // dispatching on its presence needs no unreachable arm.
+        if let Some(source) = self.open_source.as_mut() {
+            let t = source.next_arrival(0.0, &mut self.rng);
+            let model = self.traffic.mix.sample(&mut self.rng);
+            self.events.push(
+                t,
+                Event::Arrival(Request {
+                    model,
+                    arrival_s: t,
+                    client: usize::MAX,
+                }),
+            );
+        } else if let ArrivalProcess::ClosedLoop { clients, .. } = self.traffic.process {
+            for client in 0..clients {
                 let model = self.traffic.mix.sample(&mut self.rng);
                 self.events.push(
-                    t,
+                    0.0,
                     Event::Arrival(Request {
                         model,
-                        arrival_s: t,
-                        client: usize::MAX,
+                        arrival_s: 0.0,
+                        client,
                     }),
                 );
-            }
-            ArrivalProcess::ClosedLoop { clients, .. } => {
-                for client in 0..clients {
-                    let model = self.traffic.mix.sample(&mut self.rng);
-                    self.events.push(
-                        0.0,
-                        Event::Arrival(Request {
-                            model,
-                            arrival_s: 0.0,
-                            client,
-                        }),
-                    );
-                }
             }
         }
     }
@@ -765,6 +768,7 @@ impl<'a, R: Recorder> Run<'a, R> {
 
     /// Issues queued requests into the chip's pipeline while it has free
     /// slots; schedules a wake-up at the next free slot otherwise.
+    // lint:hot issue loop: drains the run queue on every chip wake-up
     fn try_issue(&mut self, chip: usize) {
         loop {
             let state = &mut self.chips[chip];
@@ -785,7 +789,11 @@ impl<'a, R: Recorder> Run<'a, R> {
             // slowdown factor (exactly 1.0 otherwise, so the multiplication
             // is bit-transparent in a fault-free run).
             let slowdown = state.slowdown_factor;
-            let request = state.run_queue.pop_front().expect("queue is non-empty");
+            // The emptiness check at loop entry makes `None` impossible, and
+            // the let-else keeps that edge total rather than panicking.
+            let Some(request) = state.run_queue.pop_front() else {
+                return;
+            };
             let profile = &self.sim.chip_profiles[chip][request.model];
             let interval_s = profile.initiation_interval_s * slowdown;
             let latency_s = profile.latency_s * slowdown;
@@ -900,10 +908,12 @@ impl<'a, R: Recorder> Run<'a, R> {
                     .enumerate()
                     .map(|(m, profile)| {
                         let stream = &streams[m];
-                        merged
-                            .histogram_ms
-                            .merge(&stream.histogram_ms)
-                            .expect("default-scale histograms share edges");
+                        // Every per-model stream is built with the same
+                        // default log scale, so the merge cannot fail on
+                        // mismatched edges; if it ever did, only the
+                        // fleet-wide quantile bound would degrade — not
+                        // worth a mid-report panic.
+                        let _ = merged.histogram_ms.merge(&stream.histogram_ms);
                         merged.count += stream.count;
                         merged.sum_s += stream.sum_s;
                         merged.max_s = merged.max_s.max(stream.max_s);
@@ -1061,10 +1071,18 @@ pub fn serving_check_backend(
     // Keep the horizon well above the unqueued latency so in-flight
     // censoring at the horizon stays negligible.
     sim.config.duration_s = (requests / rate).max(20.0 * max_latency);
-    Ok(sim.run(&TrafficSpec {
+    let traffic = TrafficSpec {
         process: ArrivalProcess::Poisson { rate },
         mix: ModelMix::uniform(models.len()),
-    }))
+    };
+    // The fallible run keeps this entry point (the explorer's serving
+    // objective) panic-free: a malformed derived rate surfaces as an
+    // evaluation error, not a crash mid-sweep.
+    sim.run_scenario(&traffic, &Scenario::default())
+        .map_err(|err| EvalError::Unsupported {
+            backend: backend.id(),
+            reason: format!("serving simulation rejected its inputs: {err}"),
+        })
 }
 
 #[cfg(test)]

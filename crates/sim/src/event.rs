@@ -140,6 +140,7 @@ impl<E> Calendar<E> {
         (((time_s - self.base_s) / self.width_s) as usize).min(self.buckets.len() - 1)
     }
 
+    // lint:hot calendar-wheel push: runs once per scheduled event
     fn push(&mut self, entry: Entry<E>) {
         if entry.time >= self.wheel_end_s() {
             self.overflow.push(entry);
@@ -180,6 +181,7 @@ impl<E> Calendar<E> {
 
     /// Walks the cursor to the first non-empty bucket and removes its
     /// `(time, seq)` minimum.
+    // lint:hot calendar-wheel pop: runs once per simulated event
     fn pop_in_wheel(&mut self) -> Option<Entry<E>> {
         while self.cursor < self.buckets.len() {
             if self.buckets[self.cursor].is_empty() {
@@ -203,6 +205,7 @@ impl<E> Calendar<E> {
     /// Removes the `(time, seq)` minimum of the overflow list directly.
     /// Only reachable when the wheel is empty (every overflow event is later
     /// than every wheel event by construction).
+    // lint:hot overflow pop: linear min-scan on the simulator's tail events
     fn pop_overflow_min(&mut self) -> Option<Entry<E>> {
         if self.overflow.is_empty() {
             return None;
@@ -217,6 +220,7 @@ impl<E> Calendar<E> {
     }
 
     /// The earliest pending time without removing it.
+    // lint:hot horizon peek: runs once per main-loop iteration
     fn peek_time(&self) -> Option<f64> {
         if self.in_wheel > 0 {
             for bucket in self.buckets.iter().skip(self.cursor) {

@@ -32,14 +32,6 @@ pub enum Policy {
 }
 
 impl Policy {
-    /// Validates policy parameters, panicking on malformed ones (the
-    /// construction-time convenience form of [`Policy::check`]).
-    pub(crate) fn validate(&self) {
-        if let Err(err) = self.check() {
-            panic!("{err}");
-        }
-    }
-
     /// Validates policy parameters structurally.
     ///
     /// # Errors
@@ -164,11 +156,21 @@ impl Router {
                 *cursor = (*cursor + 1) % hosts.len();
                 chip
             }
-            // Ties break on the lowest chip index for determinism.
-            Policy::ShortestQueue => *hosts
-                .iter()
-                .min_by_key(|&&c| (queue_depth(c), c))
-                .expect("hosts is non-empty"),
+            // Ties break on the lowest chip index for determinism. The
+            // manual fold (seeded with the round-robin fallback) keeps the
+            // empty-hosts edge total instead of panicking.
+            Policy::ShortestQueue => {
+                let mut best = hosts.first().copied().unwrap_or(0);
+                let mut best_depth = queue_depth(best);
+                for &c in hosts.iter().skip(1) {
+                    let depth = queue_depth(c);
+                    if (depth, c) < (best_depth, best) {
+                        best = c;
+                        best_depth = depth;
+                    }
+                }
+                best
+            }
         }
     }
 }

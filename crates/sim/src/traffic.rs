@@ -106,13 +106,19 @@ pub struct ModelMix {
 impl ModelMix {
     /// A mix that always requests model `index`.
     pub fn single(index: usize) -> Self {
-        Self::weighted(vec![(index, 1.0)])
+        Self {
+            entries: vec![(index, 1.0)],
+            total: 1.0,
+        }
     }
 
     /// A uniform mix over models `0..n`.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "uniform mix needs at least one model");
-        Self::weighted((0..n).map(|i| (i, 1.0)).collect())
+        Self {
+            entries: (0..n).map(|i| (i, 1.0)).collect(),
+            total: n as f64,
+        }
     }
 
     /// A mix with explicit positive weights per model index.
@@ -124,6 +130,8 @@ impl ModelMix {
     pub fn weighted(entries: Vec<(usize, f64)>) -> Self {
         match Self::try_weighted(entries) {
             Ok(mix) => mix,
+            // Documented constructor contract; try_weighted is the
+            // fallible form. lint:allow(panic)
             Err(err) => panic!("{err}"),
         }
     }
@@ -159,20 +167,23 @@ impl ModelMix {
 
     /// The largest model index referenced by the mix.
     pub fn max_model_index(&self) -> usize {
-        self.model_indices().max().expect("mix is non-empty")
+        self.model_indices().fold(0, usize::max)
     }
 
     /// Samples a model index proportionally to the weights.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let mut u = rng.gen_range(0.0..self.total);
+        // Tracking the last-seen index makes the floating-point-slack
+        // fallthrough (u exhausted past the final weight) panic-free.
+        let mut chosen = 0;
         for &(index, weight) in &self.entries {
+            chosen = index;
             if u < weight {
                 return index;
             }
             u -= weight;
         }
-        // Floating-point slack: fall back to the last entry.
-        self.entries.last().expect("mix is non-empty").0
+        chosen
     }
 }
 
@@ -203,32 +214,60 @@ impl TrafficSpec {
 /// modulated process exactly.
 #[derive(Debug, Clone)]
 pub(crate) struct OpenLoopSource {
-    process: ArrivalProcess,
+    process: OpenProcess,
     in_burst: bool,
     state_until: f64,
+}
+
+/// The open-loop subset of [`ArrivalProcess`]. Holding only these variants
+/// makes [`OpenLoopSource::next_arrival`] total — there is no closed-loop
+/// arm to declare unreachable.
+#[derive(Debug, Clone)]
+enum OpenProcess {
+    Poisson {
+        rate: f64,
+    },
+    Bursty {
+        base_rate: f64,
+        burst_rate: f64,
+        mean_burst_s: f64,
+        mean_quiet_s: f64,
+    },
 }
 
 impl OpenLoopSource {
     /// Builds the source, or `None` when the process is closed-loop.
     pub(crate) fn new(process: ArrivalProcess) -> Option<Self> {
-        match process {
-            ArrivalProcess::Poisson { .. } | ArrivalProcess::Bursty { .. } => Some(Self {
-                process,
-                // The expired pseudo-state at t=0 toggles before the first
-                // draw, so start "in burst" to make the first real sojourn
-                // the quiet state.
-                in_burst: true,
-                state_until: 0.0,
-            }),
-            ArrivalProcess::ClosedLoop { .. } => None,
-        }
+        let process = match process {
+            ArrivalProcess::Poisson { rate } => OpenProcess::Poisson { rate },
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                mean_burst_s,
+                mean_quiet_s,
+            } => OpenProcess::Bursty {
+                base_rate,
+                burst_rate,
+                mean_burst_s,
+                mean_quiet_s,
+            },
+            ArrivalProcess::ClosedLoop { .. } => return None,
+        };
+        Some(Self {
+            process,
+            // The expired pseudo-state at t=0 toggles before the first
+            // draw, so start "in burst" to make the first real sojourn
+            // the quiet state.
+            in_burst: true,
+            state_until: 0.0,
+        })
     }
 
     /// The absolute time of the next arrival after `now`.
     pub(crate) fn next_arrival<R: Rng + ?Sized>(&mut self, now: f64, rng: &mut R) -> f64 {
         match self.process {
-            ArrivalProcess::Poisson { rate } => now + Exp::new(rate).sample(rng),
-            ArrivalProcess::Bursty {
+            OpenProcess::Poisson { rate } => now + Exp::new(rate).sample(rng),
+            OpenProcess::Bursty {
                 base_rate,
                 burst_rate,
                 mean_burst_s,
@@ -253,7 +292,6 @@ impl OpenLoopSource {
                     t = self.state_until;
                 }
             }
-            ArrivalProcess::ClosedLoop { .. } => unreachable!("closed loop has no open source"),
         }
     }
 }
